@@ -1,0 +1,110 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper artefact — these quantify how much each knob of the analysis
+contributes, using libquantum (streaming, distance-sensitive) and cigar
+(short runs, clamp-sensitive) as probes.
+"""
+
+from conftest import save_artifact
+
+from repro.cachesim.hierarchy import CacheHierarchy
+from repro.config import get_machine
+from repro.core.insertion import apply_prefetch_plan
+from repro.core.pipeline import OptimizerSettings, PrefetchOptimizer
+from repro.experiments.runner import profile_workload
+from repro.experiments.tables import render_table
+from repro.sampling.sampler import RuntimeSampler
+from repro.workloads.base import workload_seed
+
+MACHINE = "amd-phenom-ii"
+
+
+def _speedup_with(name, settings, scale, latency_override=None):
+    machine = get_machine(MACHINE)
+    profile = profile_workload(name, "ref", scale)
+    optimizer = PrefetchOptimizer(machine, settings)
+    plan = optimizer.analyze(profile.sampling, refs_per_pc=profile.program.refs_per_pc())
+    trace = apply_prefetch_plan(profile.execution.trace, plan)
+    base = CacheHierarchy(machine).run(
+        profile.execution.trace,
+        work_per_memop=profile.execution.work_per_memop,
+        mlp=profile.execution.mlp,
+    )
+    opt = CacheHierarchy(machine).run(
+        trace,
+        work_per_memop=profile.execution.work_per_memop,
+        mlp=profile.execution.mlp,
+    )
+    return base.cycles / opt.cycles, len(plan.decisions)
+
+
+def _run_ablation(scale):
+    rows = []
+    # --- stride-dominance threshold (paper: 70 %) ----------------------
+    for thr in (0.5, 0.7, 0.9):
+        sp, nd = _speedup_with("cigar", OptimizerSettings(dominance_threshold=thr), scale)
+        rows.append((f"cigar dominance={thr:.0%}", f"{(sp - 1) * 100:+.1f}%", nd))
+    # --- bypass on/off --------------------------------------------------
+    for bypass in (True, False):
+        sp, nd = _speedup_with(
+            "libquantum", OptimizerSettings(enable_bypass=bypass), scale
+        )
+        rows.append(
+            (f"libquantum bypass={'on' if bypass else 'off'}", f"{(sp - 1) * 100:+.1f}%", nd)
+        )
+    # --- latency (cost/benefit threshold alpha/latency) ----------------
+    for lat in (20.0, None, 500.0):
+        sp, nd = _speedup_with("xalan", OptimizerSettings(latency=lat), scale)
+        label = "model" if lat is None else f"{lat:.0f}cy"
+        rows.append((f"xalan latency={label}", f"{(sp - 1) * 100:+.1f}%", nd))
+    return rows
+
+
+def _run_sampling_rate_ablation(scale):
+    """Coverage of the plan vs sampling rate (paper uses 1/100k)."""
+    machine = get_machine(MACHINE)
+    profile = profile_workload("gcc", "ref", scale)
+    rows = []
+    for rate in (2e-2, 2e-3, 2e-4):
+        sampler = RuntimeSampler(rate=rate, seed=workload_seed("gcc", "ref") & 0xFFFF, min_samples=0)
+        sampling = sampler.sample(profile.execution.trace)
+        if len(sampling.reuse) == 0:
+            rows.append((f"gcc rate=1/{round(1/rate)}", "no samples", 0))
+            continue
+        plan = PrefetchOptimizer(machine).analyze(
+            sampling, refs_per_pc=profile.program.refs_per_pc()
+        )
+        rows.append(
+            (
+                f"gcc rate=1/{round(1/rate)}",
+                f"{len(sampling.reuse)} samples",
+                len(plan.decisions),
+            )
+        )
+    return rows
+
+
+def test_ablation_analysis_knobs(benchmark, bench_scale, results_dir):
+    scale = min(bench_scale, 0.5)
+    rows = benchmark.pedantic(_run_ablation, args=(scale,), rounds=1, iterations=1)
+    text = render_table(
+        ("configuration", "speedup", "#prefetch pcs"),
+        rows,
+        title="Ablation: analysis thresholds (AMD)",
+    )
+    save_artifact(results_dir, "ablation_analysis.txt", text)
+    assert rows
+
+
+def test_ablation_sampling_rate(benchmark, bench_scale, results_dir):
+    scale = min(bench_scale, 0.5)
+    rows = benchmark.pedantic(
+        _run_sampling_rate_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ("configuration", "samples", "#prefetch pcs"),
+        rows,
+        title="Ablation: sampling rate",
+    )
+    save_artifact(results_dir, "ablation_sampling.txt", text)
+    assert rows

@@ -1,0 +1,63 @@
+"""Ablation: analytic contention model vs direct four-core simulation.
+
+Cross-validates the fast path used for the 180-mix sweeps (Figs. 7,
+9–11) against the event-interleaved simulator on a handful of mixes:
+the models must agree on *ordering* (which configuration wins) and
+roughly on magnitude.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.fig8_mix_detail import run_fig8
+from repro.experiments.mixes_common import evaluate_mix
+from repro.experiments.tables import render_table
+from repro.workloads.mixes import generate_mixes
+
+MACHINE = "intel-i7-2600k"
+
+
+def _compare(scale, n_mixes=3):
+    mixes = generate_mixes(count=n_mixes)
+    rows = []
+    agreements = 0
+    for mix in mixes:
+        # analytic
+        base_a = evaluate_mix(mix, MACHINE, "baseline", scale)
+        sw_a = evaluate_mix(mix, MACHINE, "swnt", scale)
+        hw_a = evaluate_mix(mix, MACHINE, "hw", scale)
+        sw_ws_a = sw_a.weighted_speedup_vs(base_a) - 1.0
+        hw_ws_a = hw_a.weighted_speedup_vs(base_a) - 1.0
+        # direct
+        direct = run_fig8(MACHINE, mix=mix, scale=scale)
+        sw_ws_d = sum(direct.speedups["swnt"]) / len(direct.speedups["swnt"])
+        hw_ws_d = sum(direct.speedups["hw"]) / len(direct.speedups["hw"])
+        same_order = (sw_ws_a > hw_ws_a) == (sw_ws_d > hw_ws_d)
+        agreements += same_order
+        rows.append(
+            (
+                "+".join(mix.members),
+                f"{sw_ws_a * 100:+.1f}%",
+                f"{sw_ws_d * 100:+.1f}%",
+                f"{hw_ws_a * 100:+.1f}%",
+                f"{hw_ws_d * 100:+.1f}%",
+                "yes" if same_order else "NO",
+            )
+        )
+    return rows, agreements, len(mixes)
+
+
+def test_contention_model_vs_direct_sim(benchmark, bench_scale, results_dir):
+    scale = min(bench_scale, 0.35)
+    rows, agreements, total = benchmark.pedantic(
+        _compare, args=(scale,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ("mix", "SW analytic", "SW direct", "HW analytic", "HW direct", "order ok"),
+        rows,
+        title="Ablation: analytic contention model vs direct 4-core simulation (Intel)",
+    )
+    save_artifact(results_dir, "ablation_contention.txt", text)
+    benchmark.extra_info["order_agreement"] = f"{agreements}/{total}"
+    # The fast model must rank SW vs HW like the direct simulator in a
+    # clear majority of sampled mixes.
+    assert agreements >= total - 1

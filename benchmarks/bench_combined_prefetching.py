@@ -1,0 +1,24 @@
+"""Regenerates the paper's §VIII-B claim: combining HW+SW prefetching hurts."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments.combined_prefetching import render_combined, run_combined
+
+
+@pytest.mark.parametrize("machine", ["amd-phenom-ii", "intel-i7-2600k"])
+def test_combined_prefetching(benchmark, bench_scale, results_dir, machine):
+    rows = benchmark.pedantic(
+        run_combined, args=(machine,), kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_artifact(results_dir, f"combined_prefetching_{machine}.txt", render_combined(rows))
+
+    hurt = sum(r.combination_hurts for r in rows)
+    benchmark.extra_info["hurts_count"] = f"{hurt}/{len(rows)}"
+    # Paper: "combining the two can hurt performance in several cases
+    # and should be avoided."
+    assert hurt >= 3
+    # combining also re-inflates traffic over the NT scheme on average
+    avg_extra_traffic = sum(r.combined_traffic_vs_swnt for r in rows) / len(rows)
+    benchmark.extra_info["avg_extra_traffic"] = round(avg_extra_traffic, 3)
+    assert avg_extra_traffic > 0.0

@@ -1,0 +1,27 @@
+"""Regenerates paper Fig. 12: parallel workloads at 1/2/4 threads."""
+
+from conftest import save_artifact
+
+from repro.experiments.fig12_parallel import render_fig12, run_fig12
+
+
+def test_fig12_parallel(benchmark, bench_scale, results_dir):
+    scale = min(bench_scale, 0.5)  # direct 4-core sims; keep tractable
+    cells = benchmark.pedantic(
+        run_fig12, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_artifact(results_dir, "fig12_parallel.txt", render_fig12(cells))
+
+    by_key = {(c.benchmark, c.threads): c for c in cells}
+    cg4 = by_key[("cg", 4)]
+    fma4 = by_key[("fma3d", 4)]
+    benchmark.extra_info["cg_x4_sw"] = round(cg4.speedup["swnt"], 3)
+    benchmark.extra_info["cg_x4_hw"] = round(cg4.speedup["hw"], 3)
+
+    # Paper §VII-E: software prefetching wins where bandwidth saturates
+    # (cg at 4 threads) and is comparable on the compute-bound programs.
+    assert cg4.speedup["swnt"] > cg4.speedup["hw"]
+    assert abs(fma4.speedup["swnt"] - fma4.speedup["hw"]) / fma4.speedup["hw"] < 0.30
+    # every configuration scales with threads
+    for name in ("swim", "cg", "fma3d", "dc"):
+        assert by_key[(name, 4)].speedup["swnt"] > by_key[(name, 1)].speedup["swnt"]

@@ -1,0 +1,23 @@
+"""Regenerates paper Fig. 3: miss ratio modelling for mcf."""
+
+from conftest import save_artifact
+
+from repro.experiments.fig3_mrc import render_fig3, run_fig3
+
+
+def test_fig3_mrc(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_artifact(results_dir, "fig3_mrc.txt", render_fig3(result))
+
+    app = result.application
+    hot = result.hot_load
+    # LRU miss ratio curves are non-increasing with cache size.
+    assert all(a >= b - 1e-9 for a, b in zip(app.ratios, app.ratios[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(hot.ratios, hot.ratios[1:]))
+    # The curve drops substantially across the modelled range (the
+    # paper's mcf curve falls from ~45 % toward ~5 %).
+    assert app.ratios[0] > app.ratios[-1] + 0.10
+    benchmark.extra_info["app_mr_8k"] = round(float(app.ratios[0]), 3)
+    benchmark.extra_info["app_mr_8M"] = round(float(app.ratios[-1]), 3)

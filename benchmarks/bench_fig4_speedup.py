@@ -1,0 +1,30 @@
+"""Regenerates paper Fig. 4: single-thread speedups on both machines."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments.fig4_speedup import average_row, render_fig4, run_fig4
+
+
+@pytest.mark.parametrize("machine", ["amd-phenom-ii", "intel-i7-2600k"])
+def test_fig4_speedup(benchmark, bench_scale, results_dir, machine):
+    rows = benchmark.pedantic(
+        run_fig4, args=(machine,), kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_artifact(results_dir, f"fig4_speedup_{machine}.txt", render_fig4(rows))
+
+    avg = average_row(rows)
+    for policy, value in avg.items():
+        benchmark.extra_info[f"avg_{policy}"] = round(value, 4)
+
+    by_name = {r.benchmark: r for r in rows}
+    # Paper shape: big wins on streaming benchmarks, small on chasers.
+    assert by_name["libquantum"].speedups["swnt"] > 0.25
+    assert by_name["omnetpp"].speedups["swnt"] < 0.15
+    assert by_name["xalan"].speedups["swnt"] < 0.10
+    # cigar: AMD hardware prefetching slows it down; software helps.
+    if machine == "amd-phenom-ii":
+        assert by_name["cigar"].speedups["hw"] < 0.0
+    assert by_name["cigar"].speedups["swnt"] > 0.0
+    # stride-centric never beats the full method on average.
+    assert avg["swnt"] >= avg["stride"] - 0.01

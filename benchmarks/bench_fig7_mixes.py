@@ -1,0 +1,32 @@
+"""Regenerates paper Fig. 7: 180 mixed workloads on both machines."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments.fig7_mixes import fig7_summary, render_fig7, run_fig7
+
+
+@pytest.mark.parametrize("machine", ["amd-phenom-ii", "intel-i7-2600k"])
+def test_fig7_mixes(benchmark, bench_scale, bench_mixes, results_dir, machine):
+    result = benchmark.pedantic(
+        run_fig7,
+        args=(machine,),
+        kwargs={"n_mixes": bench_mixes, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(results_dir, f"fig7_mixes_{machine}.txt", render_fig7(result))
+
+    summary = fig7_summary(result)
+    for key, value in summary.items():
+        benchmark.extra_info[key] = round(value, 4)
+
+    # Paper's headline results, as shapes:
+    #  - software prefetching beats hardware prefetching on average;
+    #  - it never slows a mix down;
+    #  - its traffic is lower than hardware prefetching's in (almost)
+    #    every mix.
+    assert summary["sw_avg_speedup"] > summary["hw_avg_speedup"]
+    assert summary["sw_min_speedup"] > -0.01
+    assert summary["sw_traffic_always_better"] > 0.90
+    assert summary["sw_avg_traffic"] < summary["hw_avg_traffic"]

@@ -1,0 +1,62 @@
+"""Extension benchmark: hardware prefetcher designs head-to-head.
+
+Not a paper artefact — compares the three hardware prefetcher models
+(AMD-style RPT, Intel-style streamer+adjacent, GHB delta-correlation)
+across the benchmark suite, the kind of design-space sweep the
+simulator substrate makes cheap.
+"""
+
+from conftest import save_artifact
+
+from repro.cachesim import CacheHierarchy
+from repro.config import get_machine
+from repro.experiments.runner import profile_workload
+from repro.experiments.tables import render_table
+from repro.hwpref import GHBPrefetcher, amd_hw_prefetcher, intel_hw_prefetcher
+from repro.workloads.spec2006 import ALL_SINGLE_CORE
+
+MACHINE = "amd-phenom-ii"
+
+PREFETCHERS = {
+    "rpt": lambda: amd_hw_prefetcher(),
+    "streamer": lambda: intel_hw_prefetcher(),
+    "ghb": lambda: GHBPrefetcher(),
+}
+
+
+def _run_comparison(scale):
+    machine = get_machine(MACHINE)
+    rows = []
+    for name in ALL_SINGLE_CORE:
+        profile = profile_workload(name, "ref", scale)
+        base = CacheHierarchy(machine).run(
+            profile.execution.trace,
+            profile.execution.work_per_memop,
+            profile.execution.mlp,
+        )
+        cells = [name]
+        for label, factory in PREFETCHERS.items():
+            h = CacheHierarchy(machine, prefetcher=factory())
+            stats = h.run(
+                profile.execution.trace,
+                profile.execution.work_per_memop,
+                profile.execution.mlp,
+            )
+            speedup = base.cycles / stats.cycles - 1.0
+            traffic = stats.dram_bytes / max(1, base.dram_bytes) - 1.0
+            cells.append(f"{speedup * 100:+.0f}%/{traffic * 100:+.0f}%t")
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_prefetcher_comparison(benchmark, bench_scale, results_dir):
+    scale = min(bench_scale, 0.5)
+    rows = benchmark.pedantic(_run_comparison, args=(scale,), rounds=1, iterations=1)
+    text = render_table(
+        ("benchmark", *PREFETCHERS.keys()),
+        rows,
+        title=f"Extension: hardware prefetcher comparison — {MACHINE} "
+        "(speedup / traffic increase)",
+    )
+    save_artifact(results_dir, "prefetcher_comparison.txt", text)
+    assert len(rows) == len(ALL_SINGLE_CORE)

@@ -1,0 +1,23 @@
+"""Regenerates paper §IV: StatStack coverage vs functional simulation."""
+
+from conftest import save_artifact
+
+from repro.experiments.statstack_validation import render_validation, run_validation
+
+
+def test_statstack_validation(benchmark, bench_scale, results_dir):
+    rows = benchmark.pedantic(
+        run_validation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_artifact(results_dir, "statstack_validation.txt", render_validation(rows))
+
+    avg_l1 = sum(r.l1_coverage for r in rows) / len(rows)
+    avg_l2 = sum(r.l2_coverage for r in rows) / len(rows)
+    benchmark.extra_info["avg_l1_coverage"] = round(avg_l1, 3)
+    benchmark.extra_info["avg_l2_coverage"] = round(avg_l2, 3)
+
+    # Paper: 88 % of L1 misses and 94 % of L2 misses identified.  The
+    # same ordering (larger caches are easier to model) must hold, and
+    # coverage must be high.
+    assert avg_l1 > 0.70
+    assert avg_l2 > 0.75

@@ -1,0 +1,27 @@
+"""Regenerates paper Table I: prefetch coverage & minimisation."""
+
+from conftest import save_artifact
+
+from repro.experiments.table1_coverage import render_table1, run_table1
+
+
+def test_table1_coverage(benchmark, bench_scale, results_dir):
+    rows = benchmark.pedantic(
+        run_table1, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_artifact(results_dir, "table1_coverage.txt", render_table1(rows))
+
+    avg_mddli = sum(r.mddli_coverage for r in rows) / len(rows)
+    avg_stride = sum(r.stride_coverage for r in rows) / len(rows)
+    benchmark.extra_info["avg_mddli_coverage"] = round(avg_mddli, 3)
+    benchmark.extra_info["avg_stride_coverage"] = round(avg_stride, 3)
+
+    by_name = {r.benchmark: r for r in rows}
+    # Shape assertions from the paper's Table I: streaming benchmarks are
+    # near-fully covered, pointer chasers are not, and MDDLI never covers
+    # less than stride-centric by a wide margin.
+    assert by_name["libquantum"].mddli_coverage > 0.60
+    assert by_name["lbm"].mddli_coverage > 0.60
+    assert by_name["omnetpp"].mddli_coverage < 0.20
+    assert by_name["xalan"].mddli_coverage < 0.20
+    assert avg_mddli >= avg_stride - 0.02

@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes its ASCII rendering to ``benchmarks/results/``.  Scale and mix
+count can be reduced for quick runs:
+
+* ``REPRO_BENCH_SCALE``  — trip-count multiplier (default 1.0; the
+  calibrated workload sizes).
+* ``REPRO_BENCH_MIXES``  — number of random mixes (default 180, as in
+  the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_mixes() -> int:
+    return int(os.environ.get("REPRO_BENCH_MIXES", "180"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Write one rendered table/figure and echo it to stdout."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

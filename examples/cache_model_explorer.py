@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Explore StatStack miss-ratio curves and check them against simulation.
+
+Prints a benchmark's modelled application MRC (paper Fig. 3 style) and
+the per-instruction curves of its hottest loads, then validates the
+model against the exact functional simulator at the AMD cache sizes.
+
+Run:  python examples/cache_model_explorer.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.cachesim import FunctionalCacheSim
+from repro.config import amd_phenom_ii
+from repro.experiments.tables import render_table
+from repro.isa import execute_program
+from repro.sampling import RuntimeSampler
+from repro.statstack import PerPCMissRatios, StatStackModel, default_size_grid
+from repro.workloads import build_program, workload_seed
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    machine = amd_phenom_ii()
+
+    program = build_program(name, "ref", scale)
+    execution = execute_program(program, seed=workload_seed(name, "ref"))
+    sampling = RuntimeSampler(rate=2e-3, seed=3).sample(execution.trace)
+    model = StatStackModel(sampling.reuse, machine.line_bytes)
+    ratios = PerPCMissRatios(model, machine, size_grid=default_size_grid())
+
+    hot = sorted(model.modelled_pcs(), key=model.pc_sample_weight, reverse=True)[:3]
+    rows = []
+    for size in ratios.size_grid.tolist():
+        label = f"{size // 1024}k" if size < 1 << 20 else f"{size >> 20}M"
+        rows.append(
+            (
+                label,
+                f"{model.miss_ratio(size) * 100:5.1f}%",
+                *(f"{model.pc_miss_ratio(pc, size) * 100:5.1f}%" for pc in hot),
+            )
+        )
+    print(render_table(
+        ("size", "app", *(f"pc{pc}" for pc in hot)),
+        rows,
+        title=f"StatStack miss-ratio curves — {name}",
+    ))
+
+    print("\nvalidation against exact simulation:")
+    for level in (machine.l1, machine.l2):
+        sim = FunctionalCacheSim(level)
+        sim.run(execution.trace)
+        modelled = model.miss_ratio(level.size_bytes)
+        print(f"  {level.name} ({level.size_bytes >> 10} kB): "
+              f"model {modelled:.4f} vs simulated {sim.miss_ratio():.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: profile a workload, build a prefetch plan, measure the win.
+
+This walks the paper's whole pipeline (Fig. 1) on one benchmark model:
+
+1. execute the program to get its memory trace;
+2. sparse-sample reuse distances and strides (the runtime pass);
+3. run the analysis (StatStack → MDDLI → stride/distance/bypass);
+4. insert the prefetches and re-simulate on the AMD Phenom II model.
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.cachesim import CacheHierarchy
+from repro.config import amd_phenom_ii
+from repro.core import PrefetchOptimizer, apply_prefetch_plan
+from repro.isa import execute_program
+from repro.sampling import RuntimeSampler
+from repro.workloads import build_program, workload_seed
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "libquantum"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    machine = amd_phenom_ii()
+
+    print(f"== {name} on {machine.name} (scale {scale}) ==")
+    program = build_program(name, "ref", scale)
+    execution = execute_program(program, seed=workload_seed(name, "ref"))
+    print(f"trace: {len(execution.trace)} events, "
+          f"{program.n_static_mem_instructions} static memory instructions")
+
+    sampler = RuntimeSampler(rate=2e-3, seed=1)
+    sampling = sampler.sample(execution.trace)
+    print(f"sampling: {sampling.describe()}")
+
+    optimizer = PrefetchOptimizer(machine)
+    plan = optimizer.analyze(sampling, refs_per_pc=program.refs_per_pc())
+    print()
+    print(plan.summary())
+
+    optimised = apply_prefetch_plan(execution.trace, plan)
+    base = CacheHierarchy(machine).run(
+        execution.trace,
+        work_per_memop=execution.work_per_memop,
+        mlp=execution.mlp,
+    )
+    opt = CacheHierarchy(machine).run(
+        optimised,
+        work_per_memop=execution.work_per_memop,
+        mlp=execution.mlp,
+    )
+    print()
+    print(f"baseline:  {base.cycles:12.0f} cycles, "
+          f"L1 miss ratio {base.l1.miss_ratio:.3f}, "
+          f"{base.dram_bytes >> 10} KiB off-chip")
+    print(f"optimised: {opt.cycles:12.0f} cycles, "
+          f"L1 miss ratio {opt.l1.miss_ratio:.3f}, "
+          f"{opt.dram_bytes >> 10} KiB off-chip")
+    print(f"speedup:   {base.cycles / opt.cycles:.3f}x "
+          f"({opt.sw_useful} useful / {opt.sw_late} late / "
+          f"{opt.sw_useless} useless prefetches)")
+
+
+if __name__ == "__main__":
+    main()

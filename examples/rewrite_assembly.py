@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Assembler-level prefetch insertion, the way the paper's framework works.
+
+The paper's tool takes a program's assembler output and splices
+``prefetch[nta] distance(base)`` after each selected load (§VI-C).  This
+example shows the equivalent round trip on the mini-IR: emit the
+original assembly, run the analysis, emit the *rewritten* assembly, and
+verify the optimised program touches exactly the same demand addresses.
+
+Run:  python examples/rewrite_assembly.py
+"""
+
+from repro.config import intel_i7_2600k
+from repro.core import PrefetchOptimizer
+from repro.isa import (
+    ChaseAccess,
+    Kernel,
+    Load,
+    Program,
+    Store,
+    StridedAccess,
+    emit,
+    execute_program,
+    insert_prefetches,
+    parse,
+)
+from repro.sampling import RuntimeSampler
+
+
+def main() -> None:
+    program = Program(
+        "kernel_demo",
+        (
+            Kernel(
+                "daxpy",
+                (
+                    Load("x", StridedAccess(0x1000_0000, 8, wrap_bytes=16 << 20)),
+                    Load("y", StridedAccess(0x2000_5040, 8, wrap_bytes=16 << 20)),
+                    Store("out", StridedAccess(0x3000_a080, 8, wrap_bytes=16 << 20)),
+                ),
+                trips=60_000,
+                work_per_memop=6.0,
+                mlp=8.0,
+            ),
+            Kernel(
+                "index_walk",
+                (Load("head", ChaseAccess(0x5000_0000, 40_000, 64)),),
+                trips=30_000,
+                work_per_memop=3.0,
+                mlp=1.5,
+            ),
+        ),
+    )
+
+    print("== original assembly ==")
+    print(emit(program))
+
+    execution = execute_program(program, seed=7)
+    sampling = RuntimeSampler(rate=2e-3, seed=7).sample(execution.trace)
+    machine = intel_i7_2600k()
+    plan = PrefetchOptimizer(machine).analyze(
+        sampling, refs_per_pc=program.refs_per_pc()
+    )
+    rewritten = insert_prefetches(program, plan)
+
+    print("== rewritten assembly ==")
+    asm = emit(rewritten)
+    print(asm)
+
+    # The dialect round-trips, and rewriting never perturbs the demand
+    # address stream (binary-rewriting property).
+    assert parse(asm).pc_map() == rewritten.pc_map()
+    original_demand = execution.trace.demand_only()
+    rewritten_demand = execute_program(rewritten, seed=7).trace.demand_only()
+    assert original_demand == rewritten_demand
+    print("demand address stream identical after rewriting: OK")
+    print(f"inserted {sum(1 for _ in plan.decisions)} prefetch instructions; "
+          f"chase load skipped: {plan.skipped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — resource-efficient software prefetching for multicores.
+
+A full-system reproduction of *"A Case for Resource Efficient
+Prefetching in Multicores"* (Khan, Sandberg & Hagersten, ICPP 2014):
+runtime sampling, StatStack cache modelling, model-driven delinquent
+load identification, stride/distance/bypass analyses, prefetch insertion
+at the (mini-)assembler level, and timed single-core / multicore cache
+simulation with hardware-prefetcher models.
+
+Most users start from:
+
+* :class:`repro.core.PrefetchOptimizer` — sampled profile → prefetch plan;
+* :class:`repro.cachesim.CacheHierarchy` — timed simulation of a plan;
+* :mod:`repro.workloads` — the paper's benchmark models;
+* :mod:`repro.experiments` — drivers for every paper table and figure.
+"""
+
+from repro.config import MachineConfig, amd_phenom_ii, get_machine, intel_i7_2600k
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "amd_phenom_ii",
+    "intel_i7_2600k",
+    "get_machine",
+    "ReproError",
+    "__version__",
+]

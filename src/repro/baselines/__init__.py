@@ -1,0 +1,5 @@
+"""Comparison baselines (stride-centric profile-guided prefetching)."""
+
+from repro.baselines.stride_centric import stride_centric_plan
+
+__all__ = ["stride_centric_plan"]

@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+``repro`` exposes the library's main flows without writing Python:
+
+* ``repro workloads`` — list the benchmark models;
+* ``repro optimize <workload>`` — run the analysis pipeline, print the
+  prefetch plan and (optionally) the rewritten assembly;
+* ``repro simulate <workload>`` — simulate one or more prefetching
+  configurations and report speedup/traffic;
+* ``repro mrc <workload>`` — print StatStack miss-ratio curves;
+* ``repro experiment <name>`` — regenerate one of the paper's tables or
+  figures (``table1``, ``fig3`` … ``fig12``, ``statstack``,
+  ``combined``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import MACHINES, get_machine
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-efficient software prefetching (ICPP'14 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--machine",
+            default="amd-phenom-ii",
+            choices=sorted(MACHINES),
+            help="target machine model",
+        )
+        p.add_argument("--scale", type=float, default=0.3, help="trip-count multiplier")
+        p.add_argument("--input", dest="input_set", default="ref", help="input set")
+
+    sub.add_parser("workloads", help="list available benchmark models")
+
+    p_opt = sub.add_parser("optimize", help="analyse a workload and print its prefetch plan")
+    p_opt.add_argument("workload")
+    add_common(p_opt)
+    p_opt.add_argument("--emit-asm", action="store_true", help="print rewritten assembly")
+    p_opt.add_argument("--no-bypass", action="store_true", help="disable PREFETCHNTA")
+
+    p_sim = sub.add_parser("simulate", help="simulate prefetching configurations")
+    p_sim.add_argument("workload")
+    add_common(p_sim)
+    p_sim.add_argument(
+        "--configs",
+        default="baseline,hw,swnt",
+        help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw)",
+    )
+
+    p_chr = sub.add_parser("characterize", help="summarise a workload's memory behaviour")
+    p_chr.add_argument("workload")
+    add_common(p_chr)
+
+    p_mrc = sub.add_parser("mrc", help="print StatStack miss-ratio curves")
+    p_mrc.add_argument("workload")
+    add_common(p_mrc)
+    p_mrc.add_argument("--loads", type=int, default=3, help="hottest loads to include")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "name",
+        choices=[
+            "table1", "statstack", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig12", "combined",
+        ],
+    )
+    add_common(p_exp)
+    p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
+    return parser
+
+
+def _cmd_workloads() -> int:
+    from repro.workloads import get_workload, list_workloads
+    from repro.workloads.parallel import PARALLEL_BENCHMARKS
+
+    print("single-core benchmark models:")
+    for name in list_workloads():
+        spec = get_workload(name)
+        inputs = ",".join(spec.inputs)
+        print(f"  {name:12s} [{inputs}]  {spec.description}")
+    print("parallel benchmark models:")
+    for spec in PARALLEL_BENCHMARKS:
+        star = "*" if spec.high_bandwidth else " "
+        print(f"  {spec.name:12s}{star} {spec.description}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import OptimizerSettings, PrefetchOptimizer
+    from repro.isa import emit, execute_program, insert_prefetches
+    from repro.sampling import RuntimeSampler
+    from repro.workloads import build_program, workload_seed
+
+    machine = get_machine(args.machine)
+    program = build_program(args.workload, args.input_set, args.scale)
+    execution = execute_program(
+        program, seed=workload_seed(args.workload, args.input_set)
+    )
+    sampling = RuntimeSampler(rate=2e-3, seed=1).sample(execution.trace)
+    print(sampling.describe())
+    settings = OptimizerSettings(enable_bypass=not args.no_bypass)
+    plan = PrefetchOptimizer(machine, settings).analyze(
+        sampling, refs_per_pc=program.refs_per_pc()
+    )
+    print(plan.summary())
+    if args.emit_asm:
+        print()
+        print(emit(insert_prefetches(program, plan)))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all_configs
+    from repro.experiments.tables import render_table
+
+    machine = get_machine(args.machine)
+    configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
+    if "baseline" not in configs:
+        configs = ("baseline", *configs)
+    runs = run_all_configs(
+        args.workload, args.machine, args.input_set, args.scale, configs=configs
+    )
+    base = runs["baseline"]
+    rows = []
+    for config, stats in runs.items():
+        rows.append(
+            (
+                config,
+                f"{base.cycles / stats.cycles:.3f}x",
+                f"{stats.l1.miss_ratio * 100:.1f}%",
+                f"{stats.dram_bytes / max(1, base.dram_bytes):.2f}x",
+                f"{stats.bandwidth_gbs(machine.freq_ghz):.2f}",
+            )
+        )
+    print(
+        render_table(
+            ("config", "speedup", "L1 MR", "traffic", "GB/s"),
+            rows,
+            title=f"{args.workload} on {args.machine} (scale {args.scale})",
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.isa import execute_program
+    from repro.trace import characterize_trace
+    from repro.workloads import build_program, workload_seed
+
+    program = build_program(args.workload, args.input_set, args.scale)
+    execution = execute_program(
+        program, seed=workload_seed(args.workload, args.input_set)
+    )
+    character = characterize_trace(execution.trace)
+    print(f"== {args.workload} ({args.input_set}, scale {args.scale}) ==")
+    print(character.describe())
+    return 0
+
+
+def _cmd_mrc(args: argparse.Namespace) -> int:
+    from repro.isa import execute_program
+    from repro.experiments.tables import render_table
+    from repro.sampling import RuntimeSampler
+    from repro.statstack import StatStackModel, default_size_grid
+    from repro.workloads import build_program, workload_seed
+
+    machine = get_machine(args.machine)
+    program = build_program(args.workload, args.input_set, args.scale)
+    execution = execute_program(
+        program, seed=workload_seed(args.workload, args.input_set)
+    )
+    sampling = RuntimeSampler(rate=2e-3, seed=3).sample(execution.trace)
+    model = StatStackModel(sampling.reuse, machine.line_bytes)
+    hot = sorted(model.modelled_pcs(), key=model.pc_sample_weight, reverse=True)
+    hot = hot[: args.loads]
+    rows = []
+    for size in default_size_grid().tolist():
+        label = f"{size // 1024}k" if size < 1 << 20 else f"{size >> 20}M"
+        rows.append(
+            (
+                label,
+                f"{model.miss_ratio(size) * 100:5.1f}%",
+                *(f"{model.pc_miss_ratio(pc, size) * 100:5.1f}%" for pc in hot),
+            )
+        )
+    print(
+        render_table(
+            ("size", "app", *(f"pc{pc}" for pc in hot)),
+            rows,
+            title=f"StatStack miss-ratio curves — {args.workload}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    scale = args.scale
+    if name == "table1":
+        from repro.experiments.table1_coverage import render_table1, run_table1
+
+        print(render_table1(run_table1(scale)))
+    elif name == "statstack":
+        from repro.experiments.statstack_validation import (
+            render_validation,
+            run_validation,
+        )
+
+        print(render_validation(run_validation(scale)))
+    elif name == "fig3":
+        from repro.experiments.fig3_mrc import render_fig3, run_fig3
+
+        print(render_fig3(run_fig3(scale=scale)))
+    elif name in ("fig4", "fig5", "fig6"):
+        module = {
+            "fig4": "fig4_speedup",
+            "fig5": "fig5_traffic",
+            "fig6": "fig6_bandwidth",
+        }[name]
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{module}")
+        run = getattr(mod, f"run_{name}")
+        render = getattr(mod, f"render_{name}")
+        print(render(run(args.machine, scale=scale)))
+    elif name == "fig7":
+        from repro.experiments.fig7_mixes import render_fig7, run_fig7
+
+        print(render_fig7(run_fig7(args.machine, n_mixes=args.mixes, scale=scale)))
+    elif name == "fig8":
+        from repro.experiments.fig8_mix_detail import render_fig8, run_fig8
+
+        print(render_fig8(run_fig8(scale=min(scale, 0.5))))
+    elif name == "fig9":
+        from repro.experiments.fig9_varying_inputs import render_fig9, run_fig9
+
+        print(render_fig9(run_fig9(args.machine, n_mixes=args.mixes, scale=scale)))
+    elif name == "fig12":
+        from repro.experiments.fig12_parallel import render_fig12, run_fig12
+
+        print(render_fig12(run_fig12(scale=min(scale, 0.5))))
+    elif name == "combined":
+        from repro.experiments.combined_prefetching import (
+            render_combined,
+            run_combined,
+        )
+
+        print(render_combined(run_combined(args.machine, scale=scale)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "workloads":
+            return _cmd_workloads()
+        if args.command == "optimize":
+            return _cmd_optimize(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "characterize":
+            return _cmd_characterize(args)
+        if args.command == "mrc":
+            return _cmd_mrc(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        raise AssertionError(f"unhandled command {args.command}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Prefetch insertion at the trace level (paper §VI-C).
+
+The real framework inserts ``prefetch[nta] distance(base)`` right after
+each selected load at the assembler level; at run time every execution
+of the load therefore also issues a prefetch of ``address + distance``.
+:func:`apply_prefetch_plan` performs the equivalent transformation on a
+:class:`~repro.trace.events.MemoryTrace`: for every demand event whose PC
+carries a :class:`~repro.core.report.PrefetchDecision`, a prefetch event
+to ``addr + distance_bytes`` is spliced in immediately after it.
+
+The transformation is fully vectorised — events are assigned fractional
+sort keys (original position, inserted events at position + ½) and the
+result is one stable sort.
+
+For insertion into the mini-IR (the "assembler level" of this
+reproduction) see :mod:`repro.isa.rewriter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import OptimizationReport, PrefetchDecision
+from repro.errors import AnalysisError
+from repro.trace.events import MemOp, MemoryTrace
+
+__all__ = ["apply_prefetch_plan", "apply_nt_stores", "prefetch_overhead_ratio"]
+
+
+def apply_prefetch_plan(
+    trace: MemoryTrace,
+    decisions: list[PrefetchDecision] | OptimizationReport,
+) -> MemoryTrace:
+    """Return a new trace with software prefetches inserted.
+
+    ``decisions`` may be a bare list or a full
+    :class:`~repro.core.report.OptimizationReport`.
+    """
+    if isinstance(decisions, OptimizationReport):
+        decisions = decisions.decisions
+    if not decisions:
+        return trace
+
+    by_pc: dict[int, PrefetchDecision] = {}
+    for d in decisions:
+        if d.pc in by_pc:
+            raise AnalysisError(f"duplicate prefetch decision for pc {d.pc}")
+        by_pc[d.pc] = d
+
+    pcs = sorted(by_pc)
+    pc_arr = np.array(pcs, dtype=np.int64)
+    dist_arr = np.array([by_pc[p].distance_bytes for p in pcs], dtype=np.int64)
+    nta_arr = np.array([by_pc[p].nta for p in pcs], dtype=bool)
+
+    # Match demand events against the decision table.
+    demand = trace.demand_mask
+    match_idx = np.searchsorted(pc_arr, trace.pc)
+    match_idx_clipped = np.clip(match_idx, 0, len(pc_arr) - 1)
+    hits = demand & (pc_arr[match_idx_clipped] == trace.pc)
+    if not hits.any():
+        return trace
+
+    src = np.flatnonzero(hits)
+    which = match_idx_clipped[src]
+    new_addr = trace.addr[src] + dist_arr[which]
+    # Prefetching below address zero would fault; the rewriter drops
+    # those (a real compiler guards the loop prologue similarly).
+    valid = new_addr >= 0
+    src = src[valid]
+    which = which[valid]
+    new_addr = new_addr[valid]
+
+    new_pc = trace.pc[src]
+    new_op = np.where(
+        nta_arr[which], int(MemOp.PREFETCH_NTA), int(MemOp.PREFETCH)
+    ).astype(np.uint8)
+
+    # Stable merge: original events at key i, inserted ones at i + 0.5.
+    keys = np.concatenate(
+        [np.arange(len(trace), dtype=np.float64), src.astype(np.float64) + 0.5]
+    )
+    order = np.argsort(keys, kind="stable")
+    return MemoryTrace(
+        np.concatenate([trace.pc, new_pc])[order],
+        np.concatenate([trace.addr, new_addr])[order],
+        np.concatenate([trace.op, new_op])[order],
+    )
+
+
+def apply_nt_stores(trace: MemoryTrace, pcs: list[int]) -> MemoryTrace:
+    """Convert the stores of the given PCs into non-temporal stores.
+
+    A pure op-kind transformation (no events added or removed) — the
+    trace-level mirror of replacing ``mov`` with ``movnt`` in the
+    rewritten assembly.
+    """
+    if not pcs:
+        return trace
+    pc_set = np.isin(trace.pc, np.asarray(sorted(pcs), dtype=np.int64))
+    targets = pc_set & (trace.op == int(MemOp.STORE))
+    if not targets.any():
+        return trace
+    new_op = trace.op.copy()
+    new_op[targets] = int(MemOp.STORE_NT)
+    return MemoryTrace(trace.pc, trace.addr, new_op)
+
+
+def prefetch_overhead_ratio(original: MemoryTrace, optimised: MemoryTrace) -> float:
+    """Prefetch instructions executed per original demand reference."""
+    n_demand = original.n_demand
+    if n_demand == 0:
+        return 0.0
+    return optimised.n_prefetch / n_demand

@@ -1,0 +1,185 @@
+"""The end-to-end optimisation pipeline (paper Fig. 1).
+
+``sampling pass → StatStack → MDDLI → stride analysis → prefetch
+distance → bypass analysis → prefetch plan``.
+
+:class:`PrefetchOptimizer` wires the passes together.  It consumes a
+:class:`~repro.sampling.sampler.SamplingResult` (one cheap profiling run)
+and produces an :class:`~repro.core.report.OptimizationReport` holding
+the prefetch plan for a *target machine* — the same profile can be
+analysed for several machines, which is how the paper optimises for both
+processors "using a single input profile" (§VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.core.bypass import should_bypass
+from repro.core.distance import compute_prefetch_distance
+from repro.core.mddli import estimate_miss_latency, identify_delinquent_loads
+from repro.core.report import OptimizationReport, PrefetchDecision
+from repro.core.strideanalysis import analyze_stride
+from repro.errors import AnalysisError
+from repro.sampling.sampler import SamplingResult
+from repro.statstack.model import StatStackModel
+from repro.statstack.mrc import PerPCMissRatios, default_size_grid
+
+__all__ = ["PrefetchOptimizer", "OptimizerSettings"]
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Tunable thresholds of the analysis (paper defaults).
+
+    Attributes
+    ----------
+    dominance_threshold:
+        Stride-group share required to call a load regularly strided
+        (paper: 70 %).
+    enable_bypass:
+        Emit ``PREFETCHNTA`` where the bypass analysis allows it; turning
+        this off yields the paper's plain "Software Pref." configuration.
+    enable_nt_stores:
+        Also convert safe streaming stores to ``MOVNT`` (extension
+        beyond the paper; requires ``store_pcs`` at analysis time).
+    flatness_tolerance:
+        Relative miss-ratio drop between L1 and LLC below which a reusing
+        load's curve counts as flat.
+    min_samples:
+        Per-PC sample support required before any decision is made.
+    latency:
+        Average L1-miss latency override (cycles).  ``None`` uses the
+        machine estimate.
+    """
+
+    dominance_threshold: float = 0.70
+    enable_bypass: bool = True
+    enable_nt_stores: bool = False
+    flatness_tolerance: float = 0.10
+    min_samples: int = 4
+    latency: float | None = None
+
+
+class PrefetchOptimizer:
+    """Analysis pipeline from sampled profile to prefetch plan."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        settings: OptimizerSettings | None = None,
+    ) -> None:
+        self.machine = machine
+        self.settings = settings if settings is not None else OptimizerSettings()
+
+    def analyze(
+        self,
+        sampling: SamplingResult,
+        refs_per_pc: dict[int, int] | None = None,
+        store_pcs: set[int] | None = None,
+    ) -> OptimizationReport:
+        """Produce a prefetch plan from one sampling pass.
+
+        Parameters
+        ----------
+        sampling:
+            Output of :class:`~repro.sampling.sampler.RuntimeSampler`.
+        refs_per_pc:
+            Optional estimate of each loop's dynamic reference count,
+            enabling the ``P ≤ R/2`` distance clamp.  When omitted, the
+            clamp uses the per-PC share of total references estimated
+            from the samples themselves.
+        """
+        if len(sampling.reuse) == 0:
+            raise AnalysisError("sampling produced no reuse samples")
+        st = self.settings
+        machine = self.machine
+
+        model = StatStackModel(sampling.reuse, line_bytes=machine.line_bytes)
+        # The paper measures the average L1-miss latency with performance
+        # counters; we derive the equivalent per-application value from
+        # the cache model's level mix.
+        latency = (
+            st.latency
+            if st.latency is not None
+            else estimate_miss_latency(model, machine)
+        )
+        grid = np.unique(
+            np.concatenate(
+                [
+                    default_size_grid(),
+                    np.array(
+                        [
+                            machine.l1.size_bytes,
+                            machine.l2.size_bytes,
+                            machine.llc.size_bytes,
+                        ],
+                        dtype=np.int64,
+                    ),
+                ]
+            )
+        )
+        ratios = PerPCMissRatios(model, machine, size_grid=grid)
+
+        report = OptimizationReport(machine_name=machine.name, latency_used=latency)
+        delinquent, skipped = identify_delinquent_loads(
+            ratios, latency=latency, min_samples=st.min_samples
+        )
+        report.delinquent = delinquent
+        report.skipped.update(skipped)
+
+        for load in delinquent:
+            info = analyze_stride(
+                sampling.strides,
+                load.pc,
+                line_bytes=machine.line_bytes,
+                dominance_threshold=st.dominance_threshold,
+                min_samples=st.min_samples,
+            )
+            if info is None:
+                report.skipped[load.pc] = "irregular-stride"
+                continue
+            report.strides[load.pc] = info
+
+            if refs_per_pc is not None and load.pc in refs_per_pc:
+                refs_in_loop = refs_per_pc[load.pc]
+            else:
+                refs_in_loop = int(load.sample_weight * sampling.n_refs)
+            distance = compute_prefetch_distance(
+                info,
+                machine,
+                latency=latency,
+                refs_in_loop=refs_in_loop,
+            )
+            nta = st.enable_bypass and should_bypass(
+                load.pc, sampling.reuse, ratios, st.flatness_tolerance
+            )
+            report.decisions.append(
+                PrefetchDecision(
+                    pc=load.pc,
+                    stride=info.dominant_stride,
+                    distance_bytes=distance,
+                    nta=nta,
+                )
+            )
+
+        if st.enable_nt_stores and store_pcs:
+            from repro.core.ntstores import identify_nt_stores
+
+            report.nt_stores = identify_nt_stores(
+                sampling,
+                ratios,
+                store_pcs,
+                latency=latency,
+                min_samples=st.min_samples,
+            )
+            # A non-temporal store never reads its line, so prefetching
+            # for it would just re-add the fill MOVNT exists to avoid.
+            converted = set(report.nt_stores)
+            report.decisions = [
+                d for d in report.decisions if d.pc not in converted
+            ]
+        return report

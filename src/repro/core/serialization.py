@@ -1,0 +1,124 @@
+"""Prefetch-plan persistence.
+
+An :class:`~repro.core.report.OptimizationReport` is the contract
+between the offline analysis and the rewriter — in the paper's
+deployment story the analysis host and the optimised binary's host need
+not be the same machine, so plans serialise to a small, stable,
+human-auditable JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.report import (
+    DelinquentLoad,
+    OptimizationReport,
+    PrefetchDecision,
+    StrideInfo,
+)
+from repro.errors import AnalysisError
+
+__all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
+
+_FORMAT = "repro-plan-v1"
+
+
+def plan_to_dict(report: OptimizationReport) -> dict:
+    """Convert a report to JSON-serialisable primitives."""
+    return {
+        "format": _FORMAT,
+        "machine": report.machine_name,
+        "latency_used": report.latency_used,
+        "delinquent": [
+            {
+                "pc": d.pc,
+                "mr_l1": d.mr_l1,
+                "mr_l2": d.mr_l2,
+                "mr_llc": d.mr_llc,
+                "sample_weight": d.sample_weight,
+                "benefit_score": d.benefit_score,
+            }
+            for d in report.delinquent
+        ],
+        "strides": {
+            str(pc): {
+                "dominant_stride": info.dominant_stride,
+                "dominance": info.dominance,
+                "median_recurrence": info.median_recurrence,
+                "n_samples": info.n_samples,
+            }
+            for pc, info in report.strides.items()
+        },
+        "decisions": [
+            {
+                "pc": d.pc,
+                "stride": d.stride,
+                "distance_bytes": d.distance_bytes,
+                "nta": d.nta,
+            }
+            for d in report.decisions
+        ],
+        "nt_stores": list(report.nt_stores),
+        "skipped": {str(pc): reason for pc, reason in report.skipped.items()},
+    }
+
+
+def plan_from_dict(data: dict) -> OptimizationReport:
+    """Rebuild a report from :func:`plan_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise AnalysisError(f"unsupported plan format {data.get('format')!r}")
+    report = OptimizationReport(
+        machine_name=data["machine"], latency_used=data.get("latency_used", 0.0)
+    )
+    report.delinquent = [
+        DelinquentLoad(
+            pc=d["pc"],
+            mr_l1=d["mr_l1"],
+            mr_l2=d["mr_l2"],
+            mr_llc=d["mr_llc"],
+            sample_weight=d["sample_weight"],
+            benefit_score=d["benefit_score"],
+        )
+        for d in data.get("delinquent", [])
+    ]
+    report.strides = {
+        int(pc): StrideInfo(
+            pc=int(pc),
+            dominant_stride=info["dominant_stride"],
+            dominance=info["dominance"],
+            median_recurrence=info["median_recurrence"],
+            n_samples=info["n_samples"],
+        )
+        for pc, info in data.get("strides", {}).items()
+    }
+    report.decisions = [
+        PrefetchDecision(
+            pc=d["pc"],
+            stride=d["stride"],
+            distance_bytes=d["distance_bytes"],
+            nta=d["nta"],
+        )
+        for d in data.get("decisions", [])
+    ]
+    report.nt_stores = [int(pc) for pc in data.get("nt_stores", [])]
+    report.skipped = {int(pc): r for pc, r in data.get("skipped", {}).items()}
+    return report
+
+
+def save_plan(report: OptimizationReport, path: str | Path) -> None:
+    """Write a plan as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(plan_to_dict(report), indent=2) + "\n")
+
+
+def load_plan(path: str | Path) -> OptimizationReport:
+    """Read a plan written by :func:`save_plan`."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no plan file at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{path} is not valid JSON: {exc}") from None
+    return plan_from_dict(data)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Sub-types mirror the
+major subsystems (configuration, traces, simulation, modelling, analysis)
+to keep error handling precise without forcing callers to import deep
+internal modules.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "ProgramError",
+    "SimulationError",
+    "ModelError",
+    "SamplingError",
+    "AnalysisError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid machine, cache, or analysis configuration was supplied."""
+
+
+class TraceError(ReproError, ValueError):
+    """A memory trace is malformed or incompatible with an operation."""
+
+
+class ProgramError(ReproError, ValueError):
+    """A mini-IR program is structurally invalid (bad kernel, bad operand)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A cache or multicore simulation entered an inconsistent state."""
+
+
+class ModelError(ReproError, ValueError):
+    """Statistical cache modelling (StatStack) received unusable input."""
+
+
+class SamplingError(ReproError, ValueError):
+    """The runtime sampler was configured or driven incorrectly."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """A prefetching analysis pass (MDDLI, stride, bypass) failed."""
+
+
+class WorkloadError(ReproError, KeyError):
+    """An unknown workload, input set, or mix was requested."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver could not produce its table or figure."""

@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per paper table/figure.
+
+==================  ===========================================
+Module              Paper artefact
+==================  ===========================================
+table1_coverage     Table I (coverage & prefetch overhead)
+statstack_validation §IV model-vs-simulation coverage
+fig3_mrc            Fig. 3 (miss ratio curves, mcf)
+fig4_speedup        Fig. 4 (single-thread speedups)
+fig5_traffic        Fig. 5 (off-chip traffic increase)
+fig6_bandwidth      Fig. 6 (average bandwidth, GB/s)
+fig7_mixes          Fig. 7 (180 mixes: speedup & traffic CDFs)
+fig8_mix_detail     Fig. 8 (cigar/gcc/lbm/libquantum, direct sim)
+fig9_varying_inputs Fig. 9 (mixes on alternate inputs)
+fig10_fair_speedup  Fig. 10 (Fair-Speedup bars)
+fig11_qos           Fig. 11 (QoS degradation bars)
+fig12_parallel      Fig. 12 (multi-threaded suites)
+==================  ===========================================
+"""
+
+from repro.experiments.runner import (
+    CONFIGS,
+    WorkloadProfile,
+    plan_for,
+    profile_workload,
+    run_all_configs,
+    run_config,
+)
+
+__all__ = [
+    "CONFIGS",
+    "WorkloadProfile",
+    "plan_for",
+    "profile_workload",
+    "run_all_configs",
+    "run_config",
+]

@@ -1,0 +1,95 @@
+"""§VIII-B — combining hardware and software prefetching.
+
+The paper reports: *"Our experiments combining hardware and software
+prefetching confirmed their [Lee et al., TACO'12] observation that
+combining the two can hurt performance in several cases and should be
+avoided."*
+
+This experiment runs every benchmark in the ``hwsw`` configuration (the
+rewritten Soft.Pref.+NT program *with* the machine's hardware prefetcher
+enabled) and compares it against the better of the two schemes alone.
+Two interference mechanisms emerge from the simulation:
+
+* the hardware prefetcher trains on the post-L1 miss stream, which the
+  software prefetches have already thinned and reordered — its accuracy
+  drops while its traffic remains;
+* both engines race for the same lines; the hardware copy of an
+  NT-designated line is installed into L2/LLC, silently undoing the
+  bypass analysis and re-polluting the shared cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import run_all_configs
+from repro.experiments.tables import render_table
+from repro.workloads.spec2006 import ALL_SINGLE_CORE
+
+__all__ = ["CombinedRow", "run_combined", "render_combined"]
+
+
+@dataclass(frozen=True)
+class CombinedRow:
+    """Speedups of HW-only, SW+NT-only, and combined for one benchmark."""
+
+    benchmark: str
+    machine: str
+    hw: float
+    swnt: float
+    combined: float
+    combined_traffic_vs_swnt: float
+
+    @property
+    def combination_hurts(self) -> bool:
+        """True when HW+SW is worse than the best single scheme."""
+        return self.combined < max(self.hw, self.swnt) - 1e-9
+
+
+def run_combined(
+    machine_name: str,
+    benchmarks: tuple[str, ...] = ALL_SINGLE_CORE,
+    scale: float = 1.0,
+) -> list[CombinedRow]:
+    """Evaluate hw, swnt and hw+sw on one machine."""
+    rows = []
+    for name in benchmarks:
+        runs = run_all_configs(
+            name, machine_name, scale=scale, configs=("baseline", "hw", "swnt", "hwsw")
+        )
+        base = runs["baseline"]
+        rows.append(
+            CombinedRow(
+                benchmark=name,
+                machine=machine_name,
+                hw=base.cycles / runs["hw"].cycles - 1.0,
+                swnt=base.cycles / runs["swnt"].cycles - 1.0,
+                combined=base.cycles / runs["hwsw"].cycles - 1.0,
+                combined_traffic_vs_swnt=(
+                    runs["hwsw"].dram_bytes / max(1, runs["swnt"].dram_bytes) - 1.0
+                ),
+            )
+        )
+    return rows
+
+
+def render_combined(rows: list[CombinedRow]) -> str:
+    machine = rows[0].machine if rows else "?"
+    table_rows = [
+        (
+            r.benchmark,
+            f"{r.hw * 100:+.1f}%",
+            f"{r.swnt * 100:+.1f}%",
+            f"{r.combined * 100:+.1f}%",
+            f"{r.combined_traffic_vs_swnt * 100:+.0f}%",
+            "yes" if r.combination_hurts else "no",
+        )
+        for r in rows
+    ]
+    hurt = sum(r.combination_hurts for r in rows)
+    table_rows.append((f"hurts in {hurt}/{len(rows)}", "", "", "", "", ""))
+    return render_table(
+        ("Benchmark", "HW only", "SW+NT only", "HW+SW", "traffic vs SW", "hurts?"),
+        table_rows,
+        title=f"§VIII-B: combining hardware and software prefetching — {machine}",
+    )

@@ -1,0 +1,58 @@
+"""Figure 10 — Fair-Speedup across the mixed workloads.
+
+Harmonic-mean per-application speedup (normalised to the baseline mix),
+averaged over the 180 mixes, for both machines and both input regimes
+(original and different inputs).  The paper's bars show the software
+scheme well above hardware prefetching in all four columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.fig7_mixes import Fig7Result
+from repro.experiments.tables import render_table
+
+__all__ = ["FairSpeedupCell", "fair_speedup_from", "render_fig10"]
+
+
+@dataclass(frozen=True)
+class FairSpeedupCell:
+    """One bar of Fig. 10."""
+
+    machine: str
+    inputs: str  # "orig" or "diff-in"
+    sw_fs: float
+    hw_fs: float
+
+
+def fair_speedup_from(result: Fig7Result, inputs_label: str) -> FairSpeedupCell:
+    """Average Fair-Speedup of one mix sweep."""
+    base = result.raw["baseline"]
+    sw = np.mean(
+        [o.fair_speedup_vs(b) for o, b in zip(result.raw["swnt"], base)]
+    )
+    hw = np.mean(
+        [o.fair_speedup_vs(b) for o, b in zip(result.raw["hw"], base)]
+    )
+    return FairSpeedupCell(
+        machine=result.machine, inputs=inputs_label, sw_fs=float(sw), hw_fs=float(hw)
+    )
+
+
+def render_fig10(cells: list[FairSpeedupCell]) -> str:
+    rows = [
+        (
+            f"{c.machine}/{c.inputs}",
+            f"{c.sw_fs:.3f}",
+            f"{c.hw_fs:.3f}",
+        )
+        for c in cells
+    ]
+    return render_table(
+        ("machine/inputs", "Soft Pref.+NT", "Hardware Pref."),
+        rows,
+        title="Fig 10: Fair-Speedup (normalised to baseline), average of mixes",
+    )

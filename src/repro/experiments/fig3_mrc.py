@@ -1,0 +1,86 @@
+"""Figure 3 — miss ratio modelling for mcf.
+
+StatStack's application-average miss ratio curve and the curve of a
+frequently executed load, over cache sizes 8 kB – 8 MB, with the AMD
+Phenom II's L1/L2/LLC sizes marked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import get_machine
+from repro.experiments.runner import profile_workload
+from repro.experiments.tables import render_table
+from repro.statstack.model import StatStackModel
+from repro.statstack.mrc import MissRatioCurve, PerPCMissRatios, default_size_grid
+
+__all__ = ["Fig3Result", "run_fig3", "render_fig3"]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Application and hot-load miss ratio curves for one benchmark."""
+
+    benchmark: str
+    hot_pc: int
+    sizes: np.ndarray
+    application: MissRatioCurve
+    hot_load: MissRatioCurve
+
+
+def run_fig3(
+    benchmark: str = "mcf",
+    machine_name: str = "amd-phenom-ii",
+    scale: float = 1.0,
+    points_per_octave: int = 1,
+) -> Fig3Result:
+    """Model the curves of Fig. 3 (mcf by default)."""
+    machine = get_machine(machine_name)
+    profile = profile_workload(benchmark, "ref", scale)
+    model = StatStackModel(profile.sampling.reuse, machine.line_bytes)
+    grid = default_size_grid(points_per_octave=points_per_octave)
+    ratios = PerPCMissRatios(model, machine, size_grid=grid)
+
+    # "a frequently executed load": highest sample weight among loads
+    # that actually miss.
+    candidates = [
+        pc
+        for pc in model.modelled_pcs()
+        if pc >= 0 and model.pc_miss_ratio(pc, machine.l1.size_bytes) > 0.02
+    ]
+    hot_pc = max(candidates, key=model.pc_sample_weight)
+    return Fig3Result(
+        benchmark=benchmark,
+        hot_pc=hot_pc,
+        sizes=grid,
+        application=ratios.application_curve(),
+        hot_load=ratios.pc_curve(hot_pc),
+    )
+
+
+def render_fig3(result: Fig3Result, machine_name: str = "amd-phenom-ii") -> str:
+    """ASCII table of both curves with cache levels marked."""
+    machine = get_machine(machine_name)
+    marks = {
+        machine.l1.size_bytes: "<- L1$",
+        machine.l2.size_bytes: "<- L2$",
+        machine.llc.size_bytes: "<- LLC",
+    }
+    rows = []
+    for size, app_mr, pc_mr in zip(
+        result.sizes.tolist(),
+        result.application.ratios.tolist(),
+        result.hot_load.ratios.tolist(),
+    ):
+        label = f"{size // 1024}k" if size < 1 << 20 else f"{size >> 20}M"
+        rows.append(
+            (label, f"{app_mr * 100:.1f}%", f"{pc_mr * 100:.1f}%", marks.get(size, ""))
+        )
+    return render_table(
+        ("Cache", "average", f"load pc={result.hot_pc}", ""),
+        rows,
+        title=f"Fig 3: Miss Ratio Modeling — {result.benchmark} (StatStack)",
+    )

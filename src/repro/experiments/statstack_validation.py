@@ -1,0 +1,100 @@
+"""§IV validation — StatStack miss coverage vs functional simulation.
+
+The paper compares StatStack (at 1/100k sampling) against a Pin-based
+functional simulator and reports that the model identifies **88 %** of
+all misses for a 64 kB 2-way L1 and **94 %** for a 512 kB L2, averaged
+over the benchmarks.  Coverage is computed per instruction: for each PC,
+the model can claim at most the number of misses the simulator observed
+there — over-prediction elsewhere does not compensate for a missed
+delinquent load::
+
+    coverage = sum_pc min(model_misses_pc, sim_misses_pc) / sim_total
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cachesim.functional import FunctionalCacheSim
+from repro.config import CacheConfig, get_machine
+from repro.experiments.runner import profile_workload
+from repro.experiments.tables import render_table
+from repro.statstack.model import StatStackModel
+from repro.workloads.spec2006 import ALL_SINGLE_CORE
+
+__all__ = ["ValidationRow", "validate_benchmark", "run_validation", "render_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    benchmark: str
+    l1_coverage: float
+    l2_coverage: float
+
+
+def _model_coverage(
+    model: StatStackModel,
+    sim_stats,
+    pc_refs: dict[int, int],
+    cache_bytes: int,
+) -> float:
+    """Per-PC-capped fraction of simulated misses the model accounts for."""
+    sim_total = sim_stats.total_misses()
+    if sim_total == 0:
+        return 1.0
+    found = 0.0
+    for pc, sim_misses in sim_stats.misses.items():
+        refs = pc_refs.get(pc, 0)
+        model_misses = model.pc_miss_ratio(pc, cache_bytes) * refs
+        found += min(model_misses, sim_misses)
+    return found / sim_total
+
+
+def validate_benchmark(name: str, scale: float = 1.0) -> ValidationRow:
+    """Model-vs-simulation coverage for one benchmark (64 kB and 512 kB)."""
+    machine = get_machine("amd-phenom-ii")
+    profile = profile_workload(name, "ref", scale)
+    trace = profile.execution.trace
+    model = StatStackModel(profile.sampling.reuse, machine.line_bytes)
+
+    demand = trace.demand_only()
+    pcs, counts = [], []
+    import numpy as np
+
+    u, c = np.unique(demand.pc, return_counts=True)
+    pc_refs = dict(zip(u.tolist(), c.tolist()))
+
+    l1_sim = FunctionalCacheSim(machine.l1)
+    l1_stats = l1_sim.run(trace)
+    l2_sim = FunctionalCacheSim(CacheConfig("L2", 512 * 1024, ways=8))
+    l2_stats = l2_sim.run(trace)
+
+    return ValidationRow(
+        benchmark=name,
+        l1_coverage=_model_coverage(model, l1_stats, pc_refs, 64 * 1024),
+        l2_coverage=_model_coverage(model, l2_stats, pc_refs, 512 * 1024),
+    )
+
+
+def run_validation(scale: float = 1.0) -> list[ValidationRow]:
+    """Validate all benchmarks."""
+    return [validate_benchmark(name, scale) for name in ALL_SINGLE_CORE]
+
+
+def render_validation(rows: list[ValidationRow]) -> str:
+    table_rows = [
+        (r.benchmark, f"{r.l1_coverage * 100:.1f}%", f"{r.l2_coverage * 100:.1f}%")
+        for r in rows
+    ]
+    table_rows.append(
+        (
+            "Average",
+            f"{sum(r.l1_coverage for r in rows) / len(rows) * 100:.1f}%",
+            f"{sum(r.l2_coverage for r in rows) / len(rows) * 100:.1f}%",
+        )
+    )
+    return render_table(
+        ("Benchmark", "L1 (64kB) cov.", "L2 (512kB) cov."),
+        table_rows,
+        title="StatStack miss coverage vs functional simulation (paper §IV: 88% / 94%)",
+    )

@@ -1,0 +1,19 @@
+"""Hardware prefetcher models (AMD-like stride, Intel-like streamer)."""
+
+from repro.hwpref.base import HardwarePrefetcher, NullPrefetcher, PrefetchRequest
+from repro.hwpref.ghb import GHBPrefetcher
+from repro.hwpref.nextline import AdjacentLinePrefetcher
+from repro.hwpref.stride_pref import PCStridePrefetcher
+from repro.hwpref.streamer import StreamerPrefetcher, amd_hw_prefetcher, intel_hw_prefetcher
+
+__all__ = [
+    "HardwarePrefetcher",
+    "NullPrefetcher",
+    "PrefetchRequest",
+    "PCStridePrefetcher",
+    "GHBPrefetcher",
+    "AdjacentLinePrefetcher",
+    "StreamerPrefetcher",
+    "amd_hw_prefetcher",
+    "intel_hw_prefetcher",
+]

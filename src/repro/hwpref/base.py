@@ -1,0 +1,80 @@
+"""Hardware prefetcher interface.
+
+A hardware prefetcher observes the demand-access stream (program counter,
+byte address, line number, and whether the access hit in L1) and returns
+the cache lines it wants fetched.  The cache hierarchy issues these fills
+into the prefetcher's ``fill_level`` and charges their off-chip traffic —
+speculative fetches are exactly how the paper's hardware baselines waste
+shared resources.
+
+Prefetchers may be *throttled*: when constructed with a ``utilisation``
+callback (typically :meth:`repro.cachesim.bandwidth.BandwidthModel.utilisation`),
+implementations reduce their aggressiveness as off-chip utilisation
+rises, mirroring how commodity parts back off under contention (and, as
+the paper observes, still emit significant useless traffic).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["PrefetchRequest", "HardwarePrefetcher", "NullPrefetcher"]
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """One line the hardware prefetcher wants brought on chip."""
+
+    line: int
+    fill_l2: bool = True
+
+    def __post_init__(self) -> None:
+        if self.line < 0:
+            raise ValueError("prefetch line must be non-negative")
+
+
+class HardwarePrefetcher(ABC):
+    """Base class for hardware prefetcher models."""
+
+    #: name used in experiment reports
+    name: str = "hw"
+
+    def __init__(self, utilisation: Callable[[], float] | None = None) -> None:
+        self._utilisation = utilisation
+
+    @abstractmethod
+    def observe(self, pc: int, addr: int, line: int, l1_hit: bool) -> list[PrefetchRequest]:
+        """React to one demand access; return lines to prefetch."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all training state (between runs)."""
+
+    def _throttle_factor(self) -> float:
+        """Scale factor in (0, 1] applied to prefetch degree.
+
+        Linearly backs off from full aggressiveness at 70 % utilisation to
+        a floor of 25 % at saturation.  Subclasses multiply their degree
+        by this factor; without a utilisation callback it is always 1.
+        """
+        if self._utilisation is None:
+            return 1.0
+        rho = self._utilisation()
+        if rho <= 0.70:
+            return 1.0
+        span = (rho - 0.70) / 0.30
+        return max(0.25, 1.0 - 0.75 * min(span, 1.0))
+
+
+class NullPrefetcher(HardwarePrefetcher):
+    """Hardware prefetching disabled (the paper's baseline)."""
+
+    name = "none"
+
+    def observe(self, pc: int, addr: int, line: int, l1_hit: bool) -> list[PrefetchRequest]:
+        return []
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,44 @@
+"""Mini instruction set: programs, interpreter, assembler, rewriter."""
+
+from repro.isa.assembly import emit, parse
+from repro.isa.instructions import (
+    AccessPattern,
+    BurstAccess,
+    ChaseAccess,
+    FixedAccess,
+    GatherAccess,
+    Load,
+    Prefetch,
+    RandomAccess,
+    Store,
+    SweepAccess,
+    StreamAccess,
+    StridedAccess,
+)
+from repro.isa.interpreter import ExecutionResult, execute_kernel, execute_program
+from repro.isa.program import Kernel, Program
+from repro.isa.rewriter import convert_nt_stores, insert_prefetches
+
+__all__ = [
+    "AccessPattern",
+    "StreamAccess",
+    "StridedAccess",
+    "ChaseAccess",
+    "RandomAccess",
+    "GatherAccess",
+    "BurstAccess",
+    "SweepAccess",
+    "FixedAccess",
+    "Load",
+    "Store",
+    "Prefetch",
+    "Kernel",
+    "Program",
+    "ExecutionResult",
+    "execute_program",
+    "execute_kernel",
+    "insert_prefetches",
+    "convert_nt_stores",
+    "emit",
+    "parse",
+]

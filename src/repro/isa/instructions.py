@@ -1,0 +1,240 @@
+"""Mini-IR instruction set and access patterns.
+
+The paper inserts prefetches "at the assembler level"; this package is
+the equivalent layer of the reproduction.  A program is a list of loop
+kernels, each with a body of memory instructions; every memory
+instruction carries a declarative *access pattern* describing the
+address sequence it produces across loop iterations.  The interpreter
+(:mod:`repro.isa.interpreter`) expands kernels into memory traces fully
+vectorised, and the rewriter (:mod:`repro.isa.rewriter`) splices
+``prefetch``/``prefetchnta`` instructions after target loads exactly the
+way the paper's framework patches assembly:
+
+    A: load  (base), dst
+       prefetch[nta]  distance(base)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.trace import synthesis
+
+__all__ = [
+    "AccessPattern",
+    "StreamAccess",
+    "StridedAccess",
+    "ChaseAccess",
+    "RandomAccess",
+    "GatherAccess",
+    "BurstAccess",
+    "SweepAccess",
+    "FixedAccess",
+    "Load",
+    "Store",
+    "Prefetch",
+    "Instruction",
+]
+
+
+class AccessPattern(ABC):
+    """Generator of one instruction's address sequence."""
+
+    @abstractmethod
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Addresses for ``n`` consecutive loop iterations."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Compact textual form used by the assembly emitter."""
+
+
+@dataclass(frozen=True)
+class StreamAccess(AccessPattern):
+    """Sequential streaming from ``base`` with element size ``elem_bytes``."""
+
+    base: int
+    elem_bytes: int = 8
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.stream_pattern(self.base, n, self.elem_bytes)
+
+    def describe(self) -> str:
+        return f"stream(base={self.base:#x}, elem={self.elem_bytes})"
+
+
+@dataclass(frozen=True)
+class StridedAccess(AccessPattern):
+    """Constant stride, optionally wrapping inside a region (re-sweeps)."""
+
+    base: int
+    stride_bytes: int
+    wrap_bytes: int | None = None
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.strided_pattern(self.base, n, self.stride_bytes, self.wrap_bytes)
+
+    def describe(self) -> str:
+        wrap = "" if self.wrap_bytes is None else f", wrap={self.wrap_bytes}"
+        return f"strided(base={self.base:#x}, stride={self.stride_bytes}{wrap})"
+
+
+@dataclass(frozen=True)
+class ChaseAccess(AccessPattern):
+    """Pointer chase over a shuffled node pool."""
+
+    base: int
+    n_nodes: int
+    node_bytes: int = 64
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.chase_pattern(rng, self.base, self.n_nodes, n, self.node_bytes)
+
+    def describe(self) -> str:
+        return f"chase(base={self.base:#x}, nodes={self.n_nodes}, node={self.node_bytes})"
+
+
+@dataclass(frozen=True)
+class RandomAccess(AccessPattern):
+    """Uniform random access inside a region."""
+
+    base: int
+    region_bytes: int
+    align: int = 8
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.random_pattern(rng, self.base, self.region_bytes, n, self.align)
+
+    def describe(self) -> str:
+        return f"random(base={self.base:#x}, region={self.region_bytes})"
+
+
+@dataclass(frozen=True)
+class GatherAccess(AccessPattern):
+    """Indirect gather with tunable locality."""
+
+    base: int
+    region_bytes: int
+    locality: float = 0.0
+    elem_bytes: int = 8
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.gather_pattern(
+            rng, self.base, self.region_bytes, n, self.locality, self.elem_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"gather(base={self.base:#x}, region={self.region_bytes}, "
+            f"locality={self.locality})"
+        )
+
+
+@dataclass(frozen=True)
+class BurstAccess(AccessPattern):
+    """Short strided bursts at random bases (the cigar-defeating shape)."""
+
+    base: int
+    region_bytes: int
+    burst_len: int
+    stride_bytes: int = 8
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.burst_strided_pattern(
+            rng, self.base, self.region_bytes, n, self.burst_len, self.stride_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"burst(base={self.base:#x}, region={self.region_bytes}, "
+            f"len={self.burst_len}, stride={self.stride_bytes})"
+        )
+
+
+@dataclass(frozen=True)
+class SweepAccess(AccessPattern):
+    """Nested re-sweeps with cycling pass lengths (LLC-straddling reuse)."""
+
+    base: int
+    pass_bytes: tuple[int, ...]
+    stride_bytes: int = 64
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.sweep_pattern(self.base, n, self.pass_bytes, self.stride_bytes)
+
+    def describe(self) -> str:
+        passes = "/".join(str(p) for p in self.pass_bytes)
+        return f"sweep(base={self.base:#x}, passes={passes}, stride={self.stride_bytes})"
+
+
+@dataclass(frozen=True)
+class FixedAccess(AccessPattern):
+    """Same address every iteration (a scalar in memory)."""
+
+    addr: int
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.addr, dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"fixed(addr={self.addr:#x})"
+
+
+# ----------------------------------------------------------------------
+# instructions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Load:
+    """A load instruction with a symbolic label."""
+
+    label: str
+    pattern: AccessPattern
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ProgramError("load label must be non-empty")
+
+
+@dataclass(frozen=True)
+class Store:
+    """A store instruction with a symbolic label.
+
+    ``nt=True`` marks a non-temporal (streaming) store — x86 ``MOVNT*``
+    — produced by the NT-store transformation.
+    """
+
+    label: str
+    pattern: AccessPattern
+    nt: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ProgramError("store label must be non-empty")
+
+
+@dataclass(frozen=True)
+class Prefetch:
+    """A software prefetch covering the load labelled ``target``.
+
+    The prefetch reuses the target's base register: its address per
+    iteration is the target's address plus ``distance_bytes``.
+    """
+
+    target: str
+    distance_bytes: int
+    nta: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ProgramError("prefetch target must be non-empty")
+        if self.distance_bytes == 0:
+            raise ProgramError("prefetch distance must be non-zero")
+
+
+Instruction = Load | Store | Prefetch

@@ -1,0 +1,151 @@
+"""Vectorised execution of mini-IR programs into memory traces.
+
+A kernel's body of ``b`` instructions over ``t`` trips becomes a
+``(t, b)`` address matrix built column-by-column from each instruction's
+pattern, then flattened row-major into program order — no Python loop
+over iterations.  Prefetch instructions derive their column from their
+target load's column plus the prefetch distance, mirroring the
+``prefetch distance(base)`` addressing of the inserted assembly.
+
+The interpreter is deterministic given its seed.  **Pattern RNG
+discipline:** every instruction gets its own child generator seeded from
+(seed, kernel index, instruction index), so inserting a prefetch — which
+consumes no randomness — never perturbs the addresses of other
+instructions.  This guarantees the optimised program touches exactly the
+same demand addresses as the original, as binary rewriting would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Load, Prefetch, Store
+from repro.isa.program import Kernel, Program
+from repro.trace.events import MemOp, MemoryTrace
+
+__all__ = ["ExecutionResult", "execute_program", "execute_kernel"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """A program's trace plus per-kernel execution metadata."""
+
+    trace: MemoryTrace
+    work_per_memop: float
+    mlp: float
+    kernel_slices: dict[str, slice]
+
+    def kernel_trace(self, name: str) -> MemoryTrace:
+        """Sub-trace of one kernel."""
+        try:
+            sl = self.kernel_slices[name]
+        except KeyError:
+            raise ProgramError(f"unknown kernel {name!r}") from None
+        return self.trace[sl]
+
+
+def _instruction_rng(seed: int, kernel_idx: int, instr_idx: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(kernel_idx, instr_idx))
+    )
+
+
+def execute_kernel(
+    kernel: Kernel,
+    pc_map: dict[tuple[str, str], int],
+    seed: int,
+    kernel_idx: int = 0,
+) -> MemoryTrace:
+    """Expand one kernel into its event block."""
+    t = kernel.trips
+    body = kernel.body
+    if t == 0:
+        return MemoryTrace.empty()
+
+    demand_cols: dict[str, np.ndarray] = {}
+    addr_cols: list[np.ndarray] = []
+    pc_cols: list[int] = []
+    op_cols: list[int] = []
+
+    # First pass: demand instructions generate their address streams.
+    # Child generators are keyed by the instruction's *demand ordinal*,
+    # not its body position: inserted prefetches consume no randomness,
+    # so rewriting must not shift any other instruction's addresses.
+    demand_idx = 0
+    for instr in body:
+        if isinstance(instr, (Load, Store)):
+            rng = _instruction_rng(seed, kernel_idx, demand_idx)
+            demand_idx += 1
+            col = instr.pattern.generate(rng, t)
+            if len(col) != t:
+                raise ProgramError(
+                    f"pattern for {instr.label!r} yielded {len(col)} addresses, "
+                    f"expected {t}"
+                )
+            demand_cols[instr.label] = col
+
+    # Second pass: assemble columns in body order, resolving prefetches.
+    for instr in body:
+        if isinstance(instr, (Load, Store)):
+            addr_cols.append(demand_cols[instr.label])
+            pc_cols.append(pc_map[(kernel.name, instr.label)])
+            if isinstance(instr, Store):
+                op_cols.append(int(MemOp.STORE_NT) if instr.nt else int(MemOp.STORE))
+            else:
+                op_cols.append(int(MemOp.LOAD))
+        else:
+            target_col = demand_cols.get(instr.target)
+            if target_col is None:
+                raise ProgramError(
+                    f"prefetch target {instr.target!r} missing in kernel "
+                    f"{kernel.name!r}"
+                )
+            col = np.maximum(target_col + instr.distance_bytes, 0)
+            addr_cols.append(col)
+            # The prefetch shares its target's PC, exactly like the
+            # paper's `prefetch distance(base)` which reuses the load's
+            # base register and is attributed to the same source line.
+            pc_cols.append(pc_map[(kernel.name, instr.target)])
+            op_cols.append(
+                int(MemOp.PREFETCH_NTA) if instr.nta else int(MemOp.PREFETCH)
+            )
+
+    b = len(addr_cols)
+    addr = np.stack(addr_cols, axis=1).reshape(t * b)
+    pc = np.broadcast_to(np.array(pc_cols, dtype=np.int64), (t, b)).reshape(t * b)
+    op = np.broadcast_to(np.array(op_cols, dtype=np.uint8), (t, b)).reshape(t * b)
+    return MemoryTrace(pc.copy(), addr, op.copy())
+
+
+def execute_program(program: Program, seed: int = 0) -> ExecutionResult:
+    """Run a whole program; kernels execute in order."""
+    pc_map = program.pc_map()
+    blocks: list[MemoryTrace] = []
+    slices: dict[str, slice] = {}
+    offset = 0
+    # Aggregate work/MLP parameters are reference-weighted over kernels.
+    total_refs = 0
+    work_sum = 0.0
+    mlp_sum = 0.0
+    for k_idx, kernel in enumerate(program.kernels):
+        block = execute_kernel(kernel, pc_map, seed, k_idx)
+        blocks.append(block)
+        slices[kernel.name] = slice(offset, offset + len(block))
+        offset += len(block)
+        refs = kernel.trips * len(kernel.mem_instructions)
+        total_refs += refs
+        work_sum += kernel.work_per_memop * refs
+        mlp_sum += kernel.mlp * refs
+
+    trace = MemoryTrace.concat(blocks)
+    if total_refs:
+        work = work_sum / total_refs
+        mlp = max(1.0, mlp_sum / total_refs)
+    else:
+        work, mlp = 0.0, 1.0
+    return ExecutionResult(
+        trace=trace, work_per_memop=work, mlp=mlp, kernel_slices=slices
+    )

@@ -1,0 +1,98 @@
+"""Prefetch insertion into mini-IR programs (the "binary rewriter").
+
+Takes the analysis pipeline's :class:`~repro.core.report.OptimizationReport`
+and splices the planned ``prefetch``/``prefetchnta`` instructions into
+the program — each one *immediately after* its target load, sharing the
+load's base addressing, exactly as the paper describes for its
+assembler-level insertion (§VI-C):
+
+    A: load (base), dst
+       prefetch[nta] prefetch-distance(base)
+
+Rewriting is purely structural: no pattern is re-generated, so the
+optimised program's demand address stream is bit-identical to the
+original's (verified by tests against trace-level insertion).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import OptimizationReport, PrefetchDecision
+from repro.errors import ProgramError
+from repro.isa.instructions import Instruction, Load, Prefetch, Store
+from repro.isa.program import Kernel, Program
+
+__all__ = ["insert_prefetches", "convert_nt_stores"]
+
+
+def convert_nt_stores(program: Program, pcs: list[int]) -> Program:
+    """Replace the given stores with non-temporal stores (``movnt``)."""
+    if not pcs:
+        return program
+    pc_map = program.pc_map()
+    targets = {
+        loc for loc, pc in pc_map.items() if pc in set(pcs)
+    }
+    unknown = set(pcs) - set(pc_map.values())
+    if unknown:
+        raise ProgramError(f"NT-store conversion targets unknown pcs {sorted(unknown)}")
+    new_kernels: list[Kernel] = []
+    for kernel in program.kernels:
+        new_body: list[Instruction] = []
+        changed = False
+        for instr in kernel.body:
+            if (
+                isinstance(instr, Store)
+                and not instr.nt
+                and (kernel.name, instr.label) in targets
+            ):
+                new_body.append(Store(instr.label, instr.pattern, nt=True))
+                changed = True
+            else:
+                new_body.append(instr)
+        new_kernels.append(kernel.with_body(tuple(new_body)) if changed else kernel)
+    return program.with_kernels(tuple(new_kernels))
+
+
+def insert_prefetches(
+    program: Program,
+    report: OptimizationReport | list[PrefetchDecision],
+) -> Program:
+    """Return a rewritten program with the plan's prefetches inserted."""
+    decisions = (
+        report.decisions if isinstance(report, OptimizationReport) else report
+    )
+    if not decisions:
+        return program
+
+    pc_map = program.pc_map()
+    by_location: dict[tuple[str, str], PrefetchDecision] = {}
+    pc_to_location = {pc: loc for loc, pc in pc_map.items()}
+    for decision in decisions:
+        loc = pc_to_location.get(decision.pc)
+        if loc is None:
+            raise ProgramError(
+                f"prefetch decision targets unknown pc {decision.pc}"
+            )
+        if loc in by_location:
+            raise ProgramError(f"duplicate decision for pc {decision.pc}")
+        by_location[loc] = decision
+
+    new_kernels: list[Kernel] = []
+    for kernel in program.kernels:
+        new_body: list[Instruction] = []
+        changed = False
+        for instr in kernel.body:
+            new_body.append(instr)
+            if isinstance(instr, (Load, Store)):
+                decision = by_location.get((kernel.name, instr.label))
+                if decision is not None:
+                    new_body.append(
+                        Prefetch(
+                            target=instr.label,
+                            distance_bytes=decision.distance_bytes,
+                            nta=decision.nta,
+                        )
+                    )
+                    changed = True
+        new_kernels.append(kernel.with_body(tuple(new_body)) if changed else kernel)
+    return program.with_kernels(tuple(new_kernels))

@@ -1,0 +1,58 @@
+"""Mixed-workload performance metrics (paper §VII-C/D).
+
+The paper reports three metrics over each 4-application mix, all
+relative to the *baseline mix* (original programs, hardware prefetching
+off):
+
+* **Weighted speedup (throughput)** — arithmetic mean of per-application
+  speedups.
+* **Fair-Speedup (FS)** — harmonic mean of per-application speedups,
+  which penalises mixes that speed some applications up by slowing
+  others down::
+
+      FS = N / sum_i (T_i(prefetching) / T_i(base))
+
+* **QoS** — cumulative slowdown, the sum over applications of
+  ``min(0, T_base/T_pref − 1)``; 0 means no application ever regressed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["weighted_speedup", "fair_speedup", "qos_degradation", "per_app_speedups"]
+
+
+def per_app_speedups(
+    base_cycles: Sequence[float], opt_cycles: Sequence[float]
+) -> list[float]:
+    """Per-application speedups ``T_base / T_opt`` for one mix."""
+    if len(base_cycles) != len(opt_cycles) or not base_cycles:
+        raise ExperimentError("mismatched or empty cycle vectors")
+    if any(c <= 0 for c in base_cycles) or any(c <= 0 for c in opt_cycles):
+        raise ExperimentError("cycles must be positive")
+    return [b / o for b, o in zip(base_cycles, opt_cycles)]
+
+
+def weighted_speedup(
+    base_cycles: Sequence[float], opt_cycles: Sequence[float]
+) -> float:
+    """Throughput metric: mean per-application speedup over the baseline mix."""
+    speedups = per_app_speedups(base_cycles, opt_cycles)
+    return sum(speedups) / len(speedups)
+
+
+def fair_speedup(base_cycles: Sequence[float], opt_cycles: Sequence[float]) -> float:
+    """Harmonic-mean speedup (paper's FS, balancing fairness and speed)."""
+    speedups = per_app_speedups(base_cycles, opt_cycles)
+    return len(speedups) / sum(1.0 / s for s in speedups)
+
+
+def qos_degradation(
+    base_cycles: Sequence[float], opt_cycles: Sequence[float]
+) -> float:
+    """Cumulative slowdown (≤ 0; 0 = no application slowed down)."""
+    speedups = per_app_speedups(base_cycles, opt_cycles)
+    return sum(min(0.0, s - 1.0) for s in speedups)

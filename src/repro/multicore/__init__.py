@@ -1,0 +1,15 @@
+"""Multicore execution: direct simulation and analytic contention model."""
+
+from repro.cachesim.bandwidth import BandwidthModel
+from repro.multicore.contention import AppProfile, ContendedApp, solve_mix
+from repro.multicore.simulator import CoreSpec, MulticoreResult, MulticoreSimulator
+
+__all__ = [
+    "BandwidthModel",
+    "CoreSpec",
+    "MulticoreResult",
+    "MulticoreSimulator",
+    "AppProfile",
+    "ContendedApp",
+    "solve_mix",
+]

@@ -1,0 +1,25 @@
+"""Low-overhead runtime sampling (reuse distances, strides, recurrences)."""
+
+from repro.sampling.phases import (
+    PhaseDetector,
+    PhaseProfile,
+    phase_aware_sample,
+    window_signatures,
+)
+from repro.sampling.reuse import ReuseSampleSet, collect_reuse_samples, next_same_value_index
+from repro.sampling.sampler import RuntimeSampler, SamplingResult
+from repro.sampling.stridesampler import StrideSampleSet, collect_stride_samples
+
+__all__ = [
+    "ReuseSampleSet",
+    "StrideSampleSet",
+    "RuntimeSampler",
+    "SamplingResult",
+    "collect_reuse_samples",
+    "collect_stride_samples",
+    "next_same_value_index",
+    "PhaseDetector",
+    "PhaseProfile",
+    "phase_aware_sample",
+    "window_signatures",
+]

@@ -1,0 +1,50 @@
+"""Trace persistence.
+
+Traces are the expensive artefact of a profiling session; saving them
+lets the analysis be re-run (different machines, thresholds, ablations)
+without re-executing the workload.  The format is a plain NumPy ``.npz``
+with the three event arrays plus a format tag — loadable anywhere
+without this package.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import MemoryTrace
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT = "repro-trace-v1"
+
+
+def save_trace(trace: MemoryTrace, path: str | Path) -> None:
+    """Write a trace to ``path`` (compressed ``.npz``)."""
+    np.savez_compressed(
+        Path(path),
+        format=np.array(_FORMAT),
+        pc=trace.pc,
+        addr=trace.addr,
+        op=trace.op,
+    )
+
+
+def load_trace(path: str | Path) -> MemoryTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    with np.load(path) as data:
+        try:
+            fmt = str(data["format"])
+            pc = data["pc"]
+            addr = data["addr"]
+            op = data["op"]
+        except KeyError as exc:
+            raise TraceError(f"{path} is not a repro trace file ({exc})") from None
+    if fmt != _FORMAT:
+        raise TraceError(f"unsupported trace format {fmt!r} in {path}")
+    return MemoryTrace(pc, addr, op)

@@ -1,0 +1,25 @@
+"""Dependency-free array utilities shared by trace and sampling code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["next_same_value_index"]
+
+
+def next_same_value_index(values: np.ndarray) -> np.ndarray:
+    """For each position, the index of the next equal value (or -1).
+
+    Used with line numbers (reuse sampling, characterisation) and with
+    PCs (stride sampling).  Runs in O(n log n) via a stable sort
+    grouping equal values in position order.
+    """
+    n = len(values)
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    order = np.lexsort((np.arange(n), values))
+    ordered_vals = values[order]
+    same_as_next = ordered_vals[:-1] == ordered_vals[1:]
+    out[order[:-1][same_as_next]] = order[1:][same_as_next]
+    return out

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, MachineConfig, amd_phenom_ii, intel_i7_2600k
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def amd() -> MachineConfig:
+    return amd_phenom_ii()
+
+
+@pytest.fixture
+def intel() -> MachineConfig:
+    return intel_i7_2600k()
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A miniature machine so tests exercise evictions with short traces."""
+    return MachineConfig(
+        name="tiny",
+        l1=CacheConfig("L1", 1024, ways=2, line_bytes=64, hit_latency=2),
+        l2=CacheConfig("L2", 4096, ways=4, line_bytes=64, hit_latency=8),
+        llc=CacheConfig("LLC", 16384, ways=8, line_bytes=64, hit_latency=20),
+        cores=4,
+        freq_ghz=1.0,
+        dram_latency=100,
+        peak_bandwidth_gbs=8.0,
+        prefetch_cost=1.0,
+        cpi_base=0.5,
+        cycles_per_memop=2.0,
+    )

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_args(self):
+        args = build_parser().parse_args(
+            ["optimize", "mcf", "--machine", "intel-i7-2600k", "--scale", "0.2"]
+        )
+        assert args.workload == "mcf"
+        assert args.machine == "intel-i7-2600k"
+        assert args.scale == 0.2
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "mcf", "--machine", "sparc"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "libquantum" in out
+        assert "cg" in out  # parallel section
+
+    def test_optimize_small(self, capsys):
+        assert main(["optimize", "libquantum", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "prefetches inserted" in out
+
+    def test_optimize_emit_asm(self, capsys):
+        assert main(["optimize", "libquantum", "--scale", "0.05", "--emit-asm"]) == 0
+        out = capsys.readouterr().out
+        assert ".program libquantum" in out
+        assert "prefetch" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            ["simulate", "omnetpp", "--scale", "0.05", "--configs", "swnt"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "swnt" in out
+
+    def test_mrc_small(self, capsys):
+        assert main(["mrc", "mcf", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "miss-ratio curves" in out
+
+    def test_unknown_workload_is_clean_error(self, capsys):
+        assert main(["optimize", "notabench", "--scale", "0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Miss Ratio Modeling" in out
+
+
+    def test_characterize_small(self, capsys):
+        assert main(["characterize", "cigar", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint" in out and "per-instruction" in out

@@ -1,0 +1,163 @@
+"""Tests for the workload generator and trace characterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import amd_phenom_ii
+from repro.core import PrefetchOptimizer
+from repro.errors import WorkloadError
+from repro.isa import execute_program
+from repro.sampling import RuntimeSampler
+from repro.trace import MemOp, MemoryTrace, characterize_trace
+from repro.trace.synthesis import chase_pattern, strided_pattern
+from repro.workloads import WorkloadRecipe, generate_workload
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        recipe = WorkloadRecipe(stream_weight=1, chase_weight=1, trips=500)
+        a = execute_program(generate_workload(recipe, seed=3), seed=3).trace
+        b = execute_program(generate_workload(recipe, seed=3), seed=3).trace
+        assert a == b
+
+    def test_component_counts(self):
+        recipe = WorkloadRecipe(
+            stream_weight=2,
+            chase_weight=1,
+            store_weight=1,
+            n_instructions=8,
+            trips=100,
+        )
+        program = generate_workload(recipe, seed=0)
+        labels = [i.label for k in program.kernels for i in k.mem_instructions]
+        assert len(labels) == 8
+        assert sum(l.startswith("stream") for l in labels) >= 2
+        assert sum(l.startswith("chase") for l in labels) >= 1
+        assert sum(l.startswith("store") for l in labels) >= 1
+
+    def test_every_positive_weight_represented(self):
+        recipe = WorkloadRecipe(
+            stream_weight=10,
+            chase_weight=0.01,
+            gather_weight=0.01,
+            burst_weight=0.01,
+            store_weight=0.01,
+            n_instructions=6,
+            trips=50,
+        )
+        program = generate_workload(recipe, seed=1)
+        labels = {i.label[:5] for k in program.kernels for i in k.mem_instructions}
+        assert {"strea", "chase", "gathe", "burst", "store"} <= labels
+
+    def test_footprint_scales(self):
+        small = WorkloadRecipe(
+            stream_weight=1, footprint_bytes=1 << 20, trips=40_000, stride_bytes=64
+        )
+        large = WorkloadRecipe(
+            stream_weight=1, footprint_bytes=8 << 20, trips=40_000, stride_bytes=64
+        )
+        t_small = execute_program(generate_workload(small, 0), 0).trace
+        t_large = execute_program(generate_workload(large, 0), 0).trace
+        assert t_large.footprint_lines(64) > t_small.footprint_lines(64)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadRecipe(stream_weight=0, chase_weight=0)
+        with pytest.raises(WorkloadError):
+            WorkloadRecipe(n_instructions=0)
+        with pytest.raises(WorkloadError):
+            WorkloadRecipe(footprint_bytes=1024)
+
+    @given(
+        st.floats(min_value=0, max_value=5),
+        st.floats(min_value=0, max_value=5),
+        st.floats(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_never_crashes_on_generated_workloads(
+        self, w_stream, w_chase, w_gather, n_instr, seed
+    ):
+        """Fuzz: any generated workload flows through the whole pipeline."""
+        if w_stream + w_chase + w_gather <= 0:
+            w_stream = 1.0
+        recipe = WorkloadRecipe(
+            stream_weight=w_stream,
+            chase_weight=w_chase,
+            gather_weight=w_gather,
+            n_instructions=n_instr,
+            trips=4000,
+            footprint_bytes=2 << 20,
+        )
+        program = generate_workload(recipe, seed=seed)
+        execution = execute_program(program, seed=seed)
+        sampling = RuntimeSampler(rate=5e-3, seed=seed, min_samples=32).sample(
+            execution.trace
+        )
+        plan = PrefetchOptimizer(amd_phenom_ii()).analyze(
+            sampling, refs_per_pc=program.refs_per_pc()
+        )
+        # plans only reference real instructions with sane distances
+        pcs = set(program.refs_per_pc())
+        for d in plan.decisions:
+            assert d.pc in pcs
+            assert d.distance_bytes != 0
+
+
+class TestCharacterize:
+    def test_stream_character(self):
+        t = MemoryTrace.loads(np.zeros(5000, np.int64), strided_pattern(0, 5000, 16))
+        c = characterize_trace(t)
+        assert c.n_refs == 5000
+        assert c.store_fraction == 0.0
+        assert c.per_pc[0].dominant_stride == 16
+        assert c.per_pc[0].is_regular
+        assert c.regular_fraction() == 1.0
+
+    def test_chase_is_irregular(self, rng):
+        t = MemoryTrace.loads(
+            np.zeros(5000, np.int64), chase_pattern(rng, 0, 4096, 5000)
+        )
+        c = characterize_trace(t)
+        assert not c.per_pc[0].is_regular
+        assert c.regular_fraction() == 0.0
+
+    def test_footprint(self):
+        t = MemoryTrace.loads(np.zeros(100, np.int64), strided_pattern(0, 100, 64))
+        c = characterize_trace(t)
+        assert c.footprint_bytes == 100 * 64
+
+    def test_store_fraction_counts_nt(self):
+        ops = [MemOp.LOAD, MemOp.STORE, MemOp.STORE_NT, MemOp.PREFETCH]
+        t = MemoryTrace([0, 1, 2, 0], [0, 64, 128, 192], ops)
+        c = characterize_trace(t)
+        assert c.n_refs == 3
+        assert c.store_fraction == pytest.approx(2 / 3)
+        assert c.n_prefetches == 1
+
+    def test_reuse_percentiles(self):
+        # tight loop over 4 lines: p50 reuse distance is small
+        t = MemoryTrace.loads(
+            np.zeros(4000, np.int64),
+            strided_pattern(0, 4000, 64, wrap_bytes=4 * 64),
+        )
+        c = characterize_trace(t)
+        assert c.reuse_percentiles[50] == pytest.approx(3, abs=1)
+
+    def test_cold_stream_percentiles_infinite(self):
+        t = MemoryTrace.loads(np.zeros(1000, np.int64), strided_pattern(0, 1000, 64))
+        c = characterize_trace(t)
+        assert c.reuse_percentiles[90] == float("inf")
+
+    def test_empty_trace(self):
+        c = characterize_trace(MemoryTrace.empty())
+        assert c.n_refs == 0
+
+    def test_describe_readable(self):
+        t = MemoryTrace.loads(np.zeros(200, np.int64), strided_pattern(0, 200, 16))
+        text = characterize_trace(t).describe()
+        assert "footprint" in text
+        assert "stride +16" in text

@@ -1,0 +1,179 @@
+"""Tests for the hardware prefetcher models."""
+
+import pytest
+
+from repro.hwpref import (
+    AdjacentLinePrefetcher,
+    NullPrefetcher,
+    PCStridePrefetcher,
+    StreamerPrefetcher,
+    amd_hw_prefetcher,
+    intel_hw_prefetcher,
+)
+
+
+def feed_stream(pf, pc=0, start_line=0, n=10, stride_bytes=64, l1_hit=False):
+    """Drive a prefetcher with a constant-stride access stream."""
+    all_requests = []
+    for i in range(n):
+        addr = start_line * 64 + i * stride_bytes
+        reqs = pf.observe(pc, addr, addr // 64, l1_hit)
+        all_requests.extend(r.line for r in reqs)
+    return all_requests
+
+
+class TestNull:
+    def test_never_fires(self):
+        pf = NullPrefetcher()
+        assert feed_stream(pf, n=50) == []
+
+
+class TestPCStride:
+    def test_trains_and_runs_ahead(self):
+        pf = PCStridePrefetcher(train_threshold=2)
+        lines = feed_stream(pf, n=12, stride_bytes=64)
+        assert lines  # fired after training
+        assert all(line > 0 for line in lines)
+
+    def test_requires_consistent_stride(self):
+        pf = PCStridePrefetcher(train_threshold=2)
+        addrs = [0, 64, 4096, 128, 9000, 64 * 7]
+        fired = []
+        for a in addrs:
+            fired += pf.observe(0, a, a // 64, False)
+        assert fired == []
+
+    def test_tracks_pcs_independently(self):
+        pf = PCStridePrefetcher(train_threshold=2)
+        for i in range(8):
+            pf.observe(0, i * 64, i, False)
+            pf.observe(1, 1 << 20, (1 << 20) // 64, False)
+        # pc0 trained; pc1 stationary (stride 0) never fires
+        assert pf.observe(0, 8 * 64, 8, False)
+        assert not pf.observe(1, 1 << 20, (1 << 20) // 64, False)
+
+    def test_sub_line_strides_predict_next_lines(self):
+        pf = PCStridePrefetcher(train_threshold=2)
+        lines = feed_stream(pf, n=20, stride_bytes=16)
+        assert lines
+        # predictions advance one line at a time for small strides
+        assert max(lines) < 64
+
+    def test_negative_stride_direction(self):
+        pf = PCStridePrefetcher(train_threshold=2)
+        fired = []
+        for i in range(10):
+            a = (1 << 20) - i * 128
+            fired += [r.line for r in pf.observe(0, a, a // 64, False)]
+        assert fired and all(line < (1 << 20) // 64 for line in fired)
+
+    def test_confidence_ramps_distance(self):
+        pf = PCStridePrefetcher(train_threshold=2, distance_lines=2, max_ramp=4)
+        early = None
+        for i in range(30):
+            a = i * 64
+            reqs = pf.observe(0, a, i, False)
+            if reqs and early is None:
+                early = reqs[0].line - i
+            late = reqs[0].line - i if reqs else None
+        assert early is not None and late is not None
+        assert late > early
+
+    def test_table_eviction(self):
+        pf = PCStridePrefetcher(table_size=4)
+        for pc in range(10):
+            pf.observe(pc, 0, 0, False)
+        assert len(pf._table) <= 4
+
+    def test_reset(self):
+        pf = PCStridePrefetcher(train_threshold=2)
+        feed_stream(pf, n=10)
+        pf.reset()
+        assert feed_stream(pf, n=2) == []
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            PCStridePrefetcher(degree=0)
+        with pytest.raises(ValueError):
+            PCStridePrefetcher(max_ramp=0)
+
+
+class TestStreamer:
+    def test_detects_ascending_stream(self):
+        pf = StreamerPrefetcher()
+        lines = feed_stream(pf, n=10)
+        assert lines
+        assert min(lines) > 0
+
+    def test_detects_descending_stream(self):
+        pf = StreamerPrefetcher()
+        fired = []
+        base = 1 << 14
+        for i in range(10):
+            line = base - i
+            fired += [r.line for r in pf.observe(0, line * 64, line, False)]
+        assert fired and all(line < base for line in fired)
+
+    def test_streams_are_page_local(self):
+        pf = StreamerPrefetcher(cross_page=False)
+        # accesses near a page end: prefetches never cross the boundary
+        lines_per_page = 4096 // 64
+        fired = []
+        for i in range(10):
+            line = lines_per_page - 10 + i
+            fired += [r.line for r in pf.observe(0, line * 64, line, False)]
+        assert all(line < lines_per_page for line in fired)
+
+    def test_direction_flip_resets(self):
+        pf = StreamerPrefetcher()
+        feed_stream(pf, n=6)
+        # reverse direction: first observation must not fire
+        assert pf.observe(0, 0, 0, False) == []
+
+    def test_stream_table_bounded(self):
+        pf = StreamerPrefetcher(max_streams=8)
+        for page in range(32):
+            line = page * 64
+            pf.observe(0, line * 64, line, False)
+        assert len(pf._streams) <= 8
+
+
+class TestAdjacentLine:
+    def test_buddy_line(self):
+        pf = AdjacentLinePrefetcher()
+        assert [r.line for r in pf.observe(0, 0, 10, False)] == [11]
+        assert [r.line for r in pf.observe(0, 0, 11, False)] == [10]
+
+    def test_miss_only_by_default(self):
+        pf = AdjacentLinePrefetcher()
+        assert pf.observe(0, 0, 10, True) == []
+
+
+class TestThrottling:
+    def test_backs_off_under_contention(self):
+        rho = {"value": 0.0}
+        pf = StreamerPrefetcher(utilisation=lambda: rho["value"])
+        calm = len(feed_stream(pf, n=20))
+        pf.reset()
+        rho["value"] = 1.0
+        stressed = len(feed_stream(pf, n=20))
+        assert stressed < calm
+
+
+class TestFactories:
+    def test_amd_is_stride_only(self):
+        pf = amd_hw_prefetcher()
+        # a single isolated miss never triggers AMD's prefetcher
+        assert pf.observe(0, 4096, 64, False) == []
+
+    def test_intel_fires_adjacent_on_any_miss(self):
+        pf = intel_hw_prefetcher()
+        reqs = pf.observe(0, 4096, 64, False)
+        assert 65 in [r.line for r in reqs]
+
+    def test_intel_deduplicates(self):
+        pf = intel_hw_prefetcher()
+        for i in range(8):
+            reqs = pf.observe(0, i * 64, i, False)
+            lines = [r.line for r in reqs]
+            assert len(lines) == len(set(lines))

@@ -1,0 +1,73 @@
+"""Tests for MissRatioCurve and PerPCMissRatios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.statstack.mrc import MissRatioCurve, default_size_grid
+
+
+def curve(sizes, ratios):
+    return MissRatioCurve(np.array(sizes, np.int64), np.array(ratios))
+
+
+class TestMissRatioCurve:
+    def test_interpolation_log_space(self):
+        c = curve([1024, 4096], [1.0, 0.0])
+        assert c.at(1024) == pytest.approx(1.0)
+        assert c.at(4096) == pytest.approx(0.0)
+        assert c.at(2048) == pytest.approx(0.5)  # halfway in log2
+
+    def test_extrapolation_clamps(self):
+        c = curve([1024, 4096], [0.8, 0.2])
+        assert c.at(64) == pytest.approx(0.8)
+        assert c.at(1 << 30) == pytest.approx(0.2)
+
+    def test_drop_between(self):
+        c = curve([1024, 4096, 16384], [0.9, 0.5, 0.1])
+        assert c.drop_between(1024, 16384) == pytest.approx(0.8)
+        with pytest.raises(ModelError):
+            c.drop_between(4096, 1024)
+
+    def test_flatness_is_relative(self):
+        # 40% -> 38%: relatively flat; 2% -> 0%: not flat
+        high = curve([1024, 16384], [0.40, 0.38])
+        low = curve([1024, 16384], [0.02, 0.0])
+        assert high.is_flat_between(1024, 16384, tolerance=0.10)
+        assert not low.is_flat_between(1024, 16384, tolerance=0.10)
+
+    def test_zero_curve_is_flat(self):
+        c = curve([1024, 16384], [0.0, 0.0])
+        assert c.is_flat_between(1024, 16384)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            curve([4096, 1024], [0.5, 0.4])  # non-increasing sizes
+        with pytest.raises(ModelError):
+            curve([1024], [1.5])  # ratio > 1
+        with pytest.raises(ModelError):
+            curve([], [])
+
+    def test_at_rejects_nonpositive(self):
+        c = curve([1024, 4096], [1.0, 0.0])
+        with pytest.raises(ModelError):
+            c.at(0)
+
+
+class TestDefaultSizeGrid:
+    def test_paper_range(self):
+        grid = default_size_grid()
+        assert grid[0] == 8 * 1024
+        assert grid[-1] == 8 * 1024 * 1024
+        assert np.all(np.diff(grid) > 0)
+
+    def test_points_per_octave(self):
+        fine = default_size_grid(points_per_octave=2)
+        coarse = default_size_grid(points_per_octave=1)
+        assert len(fine) == 2 * len(coarse) - 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            default_size_grid(min_bytes=0)
+        with pytest.raises(ModelError):
+            default_size_grid(min_bytes=4096, max_bytes=1024)

@@ -1,0 +1,102 @@
+"""Tests for trace and plan persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OptimizationReport,
+    PrefetchDecision,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.core.report import DelinquentLoad, StrideInfo
+from repro.errors import AnalysisError, TraceError
+from repro.trace import MemOp, MemoryTrace, load_trace, save_trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        t = MemoryTrace(
+            [0, 1, 0], [10, 20, 30], [MemOp.LOAD, MemOp.PREFETCH_NTA, MemOp.STORE]
+        )
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        assert load_trace(path) == t
+
+    def test_large_trace_roundtrip(self, tmp_path):
+        t = MemoryTrace.loads(
+            np.arange(50_000) % 7, np.arange(50_000, dtype=np.int64) * 64
+        )
+        path = tmp_path / "big.npz"
+        save_trace(t, path)
+        assert load_trace(path) == t
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestPlanIO:
+    def _plan(self):
+        r = OptimizationReport(machine_name="amd-phenom-ii", latency_used=123.4)
+        r.delinquent = [DelinquentLoad(0, 0.5, 0.4, 0.3, 0.25, 9.9)]
+        r.strides = {0: StrideInfo(0, 16, 0.95, 4.0, 40)}
+        r.decisions = [PrefetchDecision(0, 16, 320, nta=True)]
+        r.skipped = {3: "irregular-stride"}
+        return r
+
+    def test_dict_roundtrip(self):
+        original = self._plan()
+        rebuilt = plan_from_dict(plan_to_dict(original))
+        assert rebuilt.machine_name == original.machine_name
+        assert rebuilt.latency_used == original.latency_used
+        assert rebuilt.decisions == original.decisions
+        assert rebuilt.strides == original.strides
+        assert rebuilt.skipped == original.skipped
+        assert rebuilt.delinquent == original.delinquent
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(self._plan(), path)
+        rebuilt = load_plan(path)
+        assert rebuilt.decisions == self._plan().decisions
+
+    def test_json_is_human_auditable(self, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(self._plan(), path)
+        text = path.read_text()
+        assert '"nta": true' in text
+        assert '"distance_bytes": 320' in text
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_plan(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_plan(path)
+
+    def test_bad_format_tag(self):
+        with pytest.raises(AnalysisError):
+            plan_from_dict({"format": "other"})
+
+    def test_rewriter_accepts_loaded_plan(self, tmp_path):
+        # end-to-end: analyse on "machine A", ship the JSON, rewrite later
+        from repro.core import apply_prefetch_plan
+
+        path = tmp_path / "plan.json"
+        save_plan(self._plan(), path)
+        plan = load_plan(path)
+        t = MemoryTrace.loads([0, 0], [100, 200])
+        out = apply_prefetch_plan(t, plan)
+        assert out.n_prefetch == 2
