@@ -11,7 +11,7 @@ from repro.cachesim.hierarchy import CacheHierarchy
 from repro.config import get_machine
 from repro.core.insertion import apply_prefetch_plan
 from repro.core.pipeline import OptimizerSettings, PrefetchOptimizer
-from repro.experiments.runner import profile_workload
+from repro.experiments.runner import profile_for
 from repro.experiments.tables import render_table
 from repro.sampling.sampler import RuntimeSampler
 from repro.workloads.base import workload_seed
@@ -21,7 +21,7 @@ MACHINE = "amd-phenom-ii"
 
 def _speedup_with(name, settings, scale, latency_override=None):
     machine = get_machine(MACHINE)
-    profile = profile_workload(name, "ref", scale)
+    profile = profile_for(name, "ref", scale)
     optimizer = PrefetchOptimizer(machine, settings)
     plan = optimizer.analyze(profile.sampling, refs_per_pc=profile.program.refs_per_pc())
     trace = apply_prefetch_plan(profile.execution.trace, plan)
@@ -63,7 +63,7 @@ def _run_ablation(scale):
 def _run_sampling_rate_ablation(scale):
     """Coverage of the plan vs sampling rate (paper uses 1/100k)."""
     machine = get_machine(MACHINE)
-    profile = profile_workload("gcc", "ref", scale)
+    profile = profile_for("gcc", "ref", scale)
     rows = []
     for rate in (2e-2, 2e-3, 2e-4):
         sampler = RuntimeSampler(rate=rate, seed=workload_seed("gcc", "ref") & 0xFFFF, min_samples=0)

@@ -1,0 +1,85 @@
+"""Engine micro-benchmark: serial vs parallel fan-out, cold vs warm cache.
+
+Measures wall-clock for one 12-cell slice of the evaluation grid
+(4 workloads × 1 machine × 3 configs) under three regimes:
+
+* **cold serial** — empty persistent cache, ``jobs=1``;
+* **cold parallel** — empty persistent cache, ``jobs=REPRO_BENCH_JOBS``
+  (or 2 if unset/1), cells fanned out per profile group;
+* **warm cache** — in-process memo cleared, same persistent cache reused:
+  every cell must be a disk hit and zero simulations may run.
+
+On a single-core container the parallel row records the fork/pickle
+overhead rather than a speedup — the point of the artefact is the
+cold-vs-warm ratio and the engine's cache accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import save_artifact
+
+from repro.experiments import runner
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.tables import render_table
+
+WORKLOADS = ("libquantum", "mcf", "lbm", "soplex")
+MACHINE = "amd-phenom-ii"
+GRID_CONFIGS = ("baseline", "hw", "swnt")
+
+
+def _timed_run(engine: ExperimentEngine, scale: float) -> float:
+    start = time.perf_counter()
+    engine.run_grid(WORKLOADS, (MACHINE,), GRID_CONFIGS, scales=(scale,))
+    return time.perf_counter() - start
+
+
+def test_engine_scaling(bench_scale, results_dir):
+    jobs = max(2, int(os.environ.get("REPRO_BENCH_JOBS", "2")))
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        runner.clear_memo()
+        serial = ExperimentEngine(jobs=1, cache_dir=cache_dir, use_cache=True)
+        t_serial = _timed_run(serial, bench_scale)
+
+        # Fresh cache for the parallel cold run so it re-simulates.
+        shutil.rmtree(cache_dir)
+        runner.clear_memo()
+        parallel = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, use_cache=True)
+        t_parallel = _timed_run(parallel, bench_scale)
+        assert parallel.stats.computed == len(WORKLOADS) * len(GRID_CONFIGS)
+
+        runner.clear_memo()
+        warm = ExperimentEngine(jobs=1, cache_dir=cache_dir, use_cache=True)
+        t_warm = _timed_run(warm, bench_scale)
+        assert warm.stats.computed == 0, "warm cache run must not re-simulate"
+        assert warm.stats.disk_hits == len(WORKLOADS) * len(GRID_CONFIGS)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cells = len(WORKLOADS) * len(GRID_CONFIGS)
+    rows = [
+        ("cold serial (jobs=1)", f"{t_serial:.2f}", f"{t_serial / cells:.3f}", "12 computed"),
+        (
+            f"cold parallel (jobs={jobs})",
+            f"{t_parallel:.2f}",
+            f"{t_parallel / cells:.3f}",
+            "12 computed",
+        ),
+        ("warm cache (jobs=1)", f"{t_warm:.2f}", f"{t_warm / cells:.3f}", "12 disk hits"),
+        ("speedup warm vs cold", f"{t_serial / max(t_warm, 1e-9):.0f}x", "", ""),
+    ]
+    text = render_table(
+        ("regime", "wall (s)", "s/cell", "cells"),
+        rows,
+        title=(
+            f"Engine scaling — {cells}-cell grid "
+            f"({len(WORKLOADS)} workloads x {len(GRID_CONFIGS)} configs, "
+            f"{MACHINE}, scale {bench_scale:g}, {os.cpu_count()} CPU)"
+        ),
+    )
+    save_artifact(results_dir, "engine_scaling.txt", text)

@@ -17,7 +17,7 @@ from repro.core import (
     apply_nt_stores,
     apply_prefetch_plan,
 )
-from repro.experiments.runner import profile_workload
+from repro.experiments.runner import profile_for
 from repro.experiments.tables import render_table
 
 MACHINE = "amd-phenom-ii"
@@ -29,7 +29,7 @@ def _run(scale):
     rows = []
     any_improved = False
     for name in STORE_HEAVY:
-        profile = profile_workload(name, "ref", scale)
+        profile = profile_for(name, "ref", scale)
         execution = profile.execution
         opt = PrefetchOptimizer(machine, OptimizerSettings(enable_nt_stores=True))
         plan = opt.analyze(

@@ -10,7 +10,7 @@ from conftest import save_artifact
 
 from repro.cachesim import CacheHierarchy
 from repro.config import get_machine
-from repro.experiments.runner import profile_workload
+from repro.experiments.runner import profile_for
 from repro.experiments.tables import render_table
 from repro.hwpref import GHBPrefetcher, amd_hw_prefetcher, intel_hw_prefetcher
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
@@ -28,7 +28,7 @@ def _run_comparison(scale):
     machine = get_machine(MACHINE)
     rows = []
     for name in ALL_SINGLE_CORE:
-        profile = profile_workload(name, "ref", scale)
+        profile = profile_for(name, "ref", scale)
         base = CacheHierarchy(machine).run(
             profile.execution.trace,
             profile.execution.work_per_memop,

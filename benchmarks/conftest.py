@@ -8,6 +8,10 @@ count can be reduced for quick runs:
   calibrated workload sizes).
 * ``REPRO_BENCH_MIXES``  — number of random mixes (default 180, as in
   the paper).
+* ``REPRO_BENCH_JOBS``   — worker processes for the experiment engine
+  (default 1: serial, as the timings in ``results/`` were recorded).
+* ``REPRO_BENCH_CACHE``  — set to ``1`` to enable the persistent result
+  cache (default off so recorded timings measure real simulation).
 """
 
 from __future__ import annotations
@@ -18,6 +22,18 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_engine():
+    """Install the benchmark harness's process-wide experiment engine."""
+    from repro.experiments.engine import configure, reset_default_engine
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    use_cache = os.environ.get("REPRO_BENCH_CACHE", "0") == "1"
+    engine = configure(jobs=jobs, use_cache=use_cache)
+    yield engine
+    reset_default_engine()
 
 
 @pytest.fixture(scope="session")

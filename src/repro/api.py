@@ -1,0 +1,201 @@
+"""Unified experiment API.
+
+Every run the framework can perform — profile a workload, derive a
+prefetch plan, simulate one prefetching configuration — is identified by
+one frozen, hashable request object, :class:`ExperimentSpec`.  The spec
+replaces the historical stringly-typed five-positional-argument call
+sites scattered across the experiment drivers, the CLI and the
+benchmarks: every layer (the parallel engine, the persistent disk
+cache, the legacy ``runner`` shims) now speaks this one type.
+
+The module is a *facade*: it owns the spec type and the canonical
+configuration vocabulary, and lazily dispatches to the compute layers so
+that ``repro.api`` can be imported from anywhere (including worker
+processes) without import cycles.
+
+Typical use::
+
+    from repro.api import ExperimentSpec, run, run_many
+
+    spec = ExperimentSpec("libquantum", "amd-phenom-ii", "swnt", scale=0.3)
+    stats = run(spec)                      # cached single cell
+    grid = ExperimentSpec.grid(
+        workloads=("mcf", "lbm"),
+        machines=("amd-phenom-ii",),
+        configs=("baseline", "hw", "swnt"),
+        scales=(0.3,),
+    )
+    results = run_many(grid)               # parallel + disk-cached
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cachesim.stats import RunStats
+    from repro.core.report import OptimizationReport
+    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments.runner import WorkloadProfile
+
+__all__ = [
+    "CONFIGS",
+    "PLAN_KINDS",
+    "DEFAULT_MACHINE",
+    "ExperimentSpec",
+    "profile",
+    "plan",
+    "run",
+    "run_many",
+]
+
+#: The four prefetching configurations of Figs. 4–6, plus the baseline
+#: and the combined HW+SW configuration of §VIII-B (Lee et al.'s
+#: observation, which the paper confirms: combining the two can hurt).
+CONFIGS = ("baseline", "hw", "sw", "swnt", "stride", "hwsw")
+
+#: Configurations that require a software prefetch plan.
+PLAN_KINDS = ("sw", "swnt", "stride")
+
+#: Machine used when a spec is only a carrier for machine-independent
+#: work (profiling); any valid machine name would do.
+DEFAULT_MACHINE = "amd-phenom-ii"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of the paper's evaluation grid.
+
+    Attributes
+    ----------
+    workload:
+        Benchmark model name (``repro workloads`` lists them).
+    machine:
+        Target machine model name (key of :data:`repro.config.MACHINES`).
+    config:
+        Prefetching configuration, one of :data:`CONFIGS`.
+    input_set:
+        Input set the *evaluated* run uses; profiling always uses
+        ``"ref"`` (the paper's single-profile methodology).
+    scale:
+        Trip-count multiplier applied to the workload model.
+    """
+
+    workload: str
+    machine: str
+    config: str = "baseline"
+    input_set: str = "ref"
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("workload", "machine", "config", "input_set"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or not value:
+                raise ExperimentError(f"{name} must be a non-empty string, got {value!r}")
+        if self.config not in CONFIGS:
+            raise ExperimentError(
+                f"unknown config {self.config!r}; valid: {CONFIGS}"
+            )
+        if not isinstance(self.scale, (int, float)) or isinstance(self.scale, bool):
+            raise ExperimentError(f"scale must be a number, got {self.scale!r}")
+        if not math.isfinite(self.scale) or self.scale <= 0:
+            raise ExperimentError(f"scale must be positive and finite, got {self.scale}")
+        # Normalise so ExperimentSpec(..., scale=1) and scale=1.0 are one
+        # cache key / one dict entry.
+        object.__setattr__(self, "scale", float(self.scale))
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def profile_key(self) -> tuple[str, str, float]:
+        """The (workload, input_set, scale) triple one profiling pass covers.
+
+        Cells sharing this key share a workload build/execution, so the
+        engine groups them into one worker task.
+        """
+        return (self.workload, self.input_set, self.scale)
+
+    @property
+    def plan_kind(self) -> str | None:
+        """Software plan this config needs (``None`` for baseline/hw)."""
+        if self.config == "hwsw":
+            return "swnt"
+        if self.config in PLAN_KINDS:
+            return self.config
+        return None
+
+    def with_config(self, config: str) -> "ExperimentSpec":
+        """Copy of this spec under another prefetching configuration."""
+        return replace(self, config=config)
+
+    def as_dict(self) -> dict:
+        """Plain-primitive mapping (stable field order) for hashing/JSON."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def label(self) -> str:
+        """Compact human-readable cell label for progress output."""
+        extra = "" if self.input_set == "ref" else f"/{self.input_set}"
+        return f"{self.workload}/{self.machine}/{self.config}{extra}@{self.scale:g}"
+
+    # -- grid construction ---------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        workloads: Sequence[str],
+        machines: Sequence[str],
+        configs: Sequence[str] = CONFIGS,
+        input_sets: Sequence[str] = ("ref",),
+        scales: Sequence[float] = (1.0,),
+    ) -> list["ExperimentSpec"]:
+        """The full cross product of the given axes, in deterministic order."""
+        return [
+            cls(w, m, c, i, s)
+            for w in workloads
+            for m in machines
+            for c in configs
+            for i in input_sets
+            for s in scales
+        ]
+
+
+# -- facade functions (lazy imports: keep repro.api dependency-free) ----
+
+
+def profile(spec: ExperimentSpec) -> "WorkloadProfile":
+    """Build, execute and sample ``spec``'s workload (cached).
+
+    Only :attr:`ExperimentSpec.profile_key` matters; machine and config
+    are ignored.
+    """
+    from repro.experiments import runner
+
+    return runner.profile_for(spec.workload, spec.input_set, spec.scale)
+
+
+def plan(spec: ExperimentSpec) -> "OptimizationReport":
+    """Prefetch plan for ``spec`` (cached); requires a plan-bearing config."""
+    from repro.experiments import runner
+
+    return runner.plan_for_spec(spec)
+
+
+def run(spec: ExperimentSpec) -> "RunStats":
+    """Simulate one cell through the shared memo + disk cache."""
+    from repro.experiments import runner
+
+    return runner.run_spec(spec)
+
+
+def run_many(
+    specs: Iterable[ExperimentSpec],
+    engine: "ExperimentEngine | None" = None,
+) -> dict[ExperimentSpec, "RunStats"]:
+    """Run many cells through the (possibly parallel) experiment engine."""
+    from repro.experiments.engine import current_engine
+
+    return (engine or current_engine()).run(specs)

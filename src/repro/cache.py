@@ -1,0 +1,244 @@
+"""Content-addressed persistent result cache.
+
+The evaluation grid is a pure function of its inputs: every cell is
+deterministic given the :class:`~repro.api.ExperimentSpec`, the machine
+model and the profiling rate (sampling is the pipeline's only stochastic
+step and it is seeded from the spec).  That makes results safe to cache
+on disk across processes and across invocations — regenerating a paper
+figure a second time should cost file reads, not hours of simulation.
+
+Keys are *content addresses*: the SHA-256 of a canonical JSON document
+containing the spec fields **and everything the result depends on** —
+the full machine configuration, the profiling rate, the serialisation
+format version and a cache epoch.  Changing any of those (resizing a
+cache level, bumping the sampling rate, revising the simulator's cache
+format) silently invalidates stale entries instead of replaying them.
+
+Two artefact kinds are stored, both as JSON via
+:mod:`repro.core.serialization`:
+
+* ``stats`` — :class:`~repro.cachesim.stats.RunStats`, one per grid cell;
+* ``sampling`` — :class:`~repro.sampling.sampler.SamplingResult`, one per
+  (workload, input_set, scale, rate) profiling pass.
+
+Unreadable or format-mismatched entries are treated as misses and
+removed, so a corrupted cache degrades to a cold one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.api import ExperimentSpec
+from repro.config import get_machine
+from repro.core import serialization
+from repro.errors import AnalysisError, ConfigError
+
+__all__ = ["ResultCache", "CacheCounters", "default_cache_dir", "CACHE_EPOCH"]
+
+#: Bump to invalidate every existing cache entry (e.g. after a change to
+#: the simulator or analysis pipeline that alters results without
+#: touching any keyed setting).
+CACHE_EPOCH = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``./.repro-cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else Path(".repro-cache")
+
+
+@dataclasses.dataclass
+class CacheCounters:
+    """Hit/miss/store counters for one artefact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.hits, self.misses, self.stores)
+
+
+class ResultCache:
+    """Directory-backed cache of simulation results and profiles.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first store.  Layout is
+        ``root/<kind>/<key[:2]>/<key>.json`` to keep directories small.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheCounters()
+        self.sampling = CacheCounters()
+
+    # -- keys ----------------------------------------------------------
+
+    def _machine_fingerprint(self, machine_name: str) -> dict:
+        """Everything about the machine model a result depends on."""
+        try:
+            return dataclasses.asdict(get_machine(machine_name))
+        except ConfigError:
+            # Unknown machines still key deterministically (the compute
+            # layer will raise for them anyway).
+            return {"name": machine_name}
+
+    def stats_key(self, spec: ExperimentSpec, profile_rate: float) -> str:
+        """Content address of one grid cell's :class:`RunStats`."""
+        document = {
+            "kind": "stats",
+            "epoch": CACHE_EPOCH,
+            "format": serialization.STATS_FORMAT,
+            "spec": spec.as_dict(),
+            "machine": self._machine_fingerprint(spec.machine),
+            "profile_rate": profile_rate,
+        }
+        return _digest(document)
+
+    def sampling_key(
+        self, workload: str, input_set: str, scale: float, rate: float
+    ) -> str:
+        """Content address of one profiling pass's :class:`SamplingResult`."""
+        document = {
+            "kind": "sampling",
+            "epoch": CACHE_EPOCH,
+            "format": serialization.SAMPLING_FORMAT,
+            "workload": workload,
+            "input_set": input_set,
+            "scale": float(scale),
+            "rate": float(rate),
+        }
+        return _digest(document)
+
+    # -- stats ---------------------------------------------------------
+
+    def has_stats(self, spec: ExperimentSpec, profile_rate: float) -> bool:
+        """Whether a cell is present on disk (no counters, no decode)."""
+        return self._path("stats", self.stats_key(spec, profile_rate)).exists()
+
+    def get_stats(self, spec: ExperimentSpec, profile_rate: float):
+        """Cached :class:`RunStats` for ``spec``, or ``None`` on a miss."""
+        data = self._read("stats", self.stats_key(spec, profile_rate))
+        if data is None:
+            self.stats.misses += 1
+            return None
+        try:
+            stats = serialization.stats_from_dict(data)
+        except (AnalysisError, KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return stats
+
+    def put_stats(self, spec: ExperimentSpec, profile_rate: float, stats) -> None:
+        """Store one grid cell's result."""
+        self._write(
+            "stats",
+            self.stats_key(spec, profile_rate),
+            serialization.stats_to_dict(stats),
+        )
+        self.stats.stores += 1
+
+    # -- sampling ------------------------------------------------------
+
+    def get_sampling(
+        self, workload: str, input_set: str, scale: float, rate: float
+    ):
+        """Cached :class:`SamplingResult`, or ``None`` on a miss."""
+        key = self.sampling_key(workload, input_set, scale, rate)
+        data = self._read("sampling", key)
+        if data is None:
+            self.sampling.misses += 1
+            return None
+        try:
+            sampling = serialization.sampling_from_dict(data)
+        except (AnalysisError, KeyError, TypeError, ValueError):
+            self.sampling.misses += 1
+            return None
+        self.sampling.hits += 1
+        return sampling
+
+    def put_sampling(
+        self, workload: str, input_set: str, scale: float, rate: float, sampling
+    ) -> None:
+        """Store one profiling pass's sampling result."""
+        key = self.sampling_key(workload, input_set, scale, rate)
+        self._write("sampling", key, serialization.sampling_to_dict(sampling))
+        self.sampling.stores += 1
+
+    # -- file plumbing -------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    def _read(self, kind: str, key: str) -> dict | None:
+        path = self._path(kind, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            # Corrupted entry (interrupted writer from a pre-atomic era,
+            # disk trouble): drop it so it stops costing a parse attempt.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _write(self, kind: str, key: str, data: dict) -> None:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent writers (parallel engine workers,
+        # parallel CLI invocations) each rename a private temp file into
+        # place; last writer wins with an identical document.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- reporting -----------------------------------------------------
+
+    def counters(self) -> dict[str, tuple[int, int, int]]:
+        """{kind: (hits, misses, stores)} across this cache's lifetime."""
+        return {
+            "stats": self.stats.as_tuple(),
+            "sampling": self.sampling.as_tuple(),
+        }
+
+    def describe(self) -> str:
+        """One-line summary for engine/CLI diagnostics."""
+        s, p = self.stats, self.sampling
+        return (
+            f"cache {self.root}: stats {s.hits} hit/{s.misses} miss/"
+            f"{s.stores} stored, sampling {p.hits} hit/{p.misses} miss/"
+            f"{p.stores} stored"
+        )
+
+
+def _digest(document: dict) -> str:
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -11,6 +11,13 @@
 * ``repro experiment <name>`` — regenerate one of the paper's tables or
   figures (``table1``, ``fig3`` … ``fig12``, ``statstack``,
   ``combined``).
+
+``simulate`` and ``experiment`` accept ``--jobs N`` (parallel worker
+processes), ``--cache-dir PATH`` and ``--no-cache``: cells of the
+evaluation grid are fanned out over a process pool and persisted to a
+content-addressed on-disk cache (default ``./.repro-cache`` or
+``$REPRO_CACHE_DIR``), so regenerating a figure a second time performs
+zero re-simulations.  A per-run cell/cache summary is printed to stderr.
 """
 
 from __future__ import annotations
@@ -41,6 +48,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.3, help="trip-count multiplier")
         p.add_argument("--input", dest="input_set", default="ref", help="input set")
 
+    def add_engine(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for grid cells (default $REPRO_JOBS or 1)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persistent result cache directory "
+            "(default $REPRO_CACHE_DIR or ./.repro-cache)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the persistent result cache",
+        )
+
     sub.add_parser("workloads", help="list available benchmark models")
 
     p_opt = sub.add_parser("optimize", help="analyse a workload and print its prefetch plan")
@@ -52,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="simulate prefetching configurations")
     p_sim.add_argument("workload")
     add_common(p_sim)
+    add_engine(p_sim)
     p_sim.add_argument(
         "--configs",
         default="baseline,hw,swnt",
@@ -76,8 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     add_common(p_exp)
+    add_engine(p_exp)
     p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
     return parser
+
+
+def _configure_engine(args: argparse.Namespace):
+    """Install the process-wide engine from --jobs/--cache-dir/--no-cache."""
+    from repro.experiments.engine import configure
+
+    return configure(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=True,
+    )
 
 
 def _cmd_workloads() -> int:
@@ -121,16 +161,27 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_all_configs
+    from repro.api import ExperimentSpec
     from repro.experiments.tables import render_table
 
+    engine = _configure_engine(args)
     machine = get_machine(args.machine)
     configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
     if "baseline" not in configs:
         configs = ("baseline", *configs)
-    runs = run_all_configs(
-        args.workload, args.machine, args.input_set, args.scale, configs=configs
+    results = engine.run_grid(
+        (args.workload,),
+        (args.machine,),
+        configs,
+        input_sets=(args.input_set,),
+        scales=(args.scale,),
     )
+    runs = {
+        c: results[
+            ExperimentSpec(args.workload, args.machine, c, args.input_set, args.scale)
+        ]
+        for c in configs
+    }
     base = runs["baseline"]
     rows = []
     for config, stats in runs.items():
@@ -150,6 +201,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title=f"{args.workload} on {args.machine} (scale {args.scale})",
         )
     )
+    print(engine.summary(), file=sys.stderr)
     return 0
 
 
@@ -205,6 +257,7 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    engine = _configure_engine(args)
     name = args.name
     scale = args.scale
     if name == "table1":
@@ -257,6 +310,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
 
         print(render_combined(run_combined(args.machine, scale=scale)))
+    print(engine.summary(), file=sys.stderr)
     return 0
 
 

@@ -18,7 +18,7 @@ simulators, models and analyses in this package take a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 

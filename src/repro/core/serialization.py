@@ -1,10 +1,22 @@
-"""Prefetch-plan persistence.
+"""Result and plan persistence.
 
 An :class:`~repro.core.report.OptimizationReport` is the contract
 between the offline analysis and the rewriter — in the paper's
 deployment story the analysis host and the optimised binary's host need
 not be the same machine, so plans serialise to a small, stable,
 human-auditable JSON document.
+
+The same layer also serialises the two artefacts the persistent result
+cache (:mod:`repro.cache`) stores between processes and between runs:
+
+* :class:`~repro.cachesim.stats.RunStats` — the complete outcome of one
+  simulated cell of the evaluation grid;
+* :class:`~repro.sampling.sampler.SamplingResult` — one workload's
+  reuse/stride profile (the expensive part of profiling).
+
+All codecs are versioned; a reader seeing an unknown ``format`` raises
+:class:`~repro.errors.AnalysisError` so callers can treat the document
+as a cache miss rather than mis-decode it.
 """
 
 from __future__ import annotations
@@ -12,6 +24,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import numpy as np
+
+from repro.cachesim.stats import LevelStats, PCStats, RunStats
 from repro.core.report import (
     DelinquentLoad,
     OptimizationReport,
@@ -19,10 +34,24 @@ from repro.core.report import (
     StrideInfo,
 )
 from repro.errors import AnalysisError
+from repro.sampling.reuse import ReuseSampleSet
+from repro.sampling.sampler import SamplingResult
+from repro.sampling.stridesampler import StrideSampleSet
 
-__all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan",
+    "load_plan",
+    "stats_to_dict",
+    "stats_from_dict",
+    "sampling_to_dict",
+    "sampling_from_dict",
+]
 
 _FORMAT = "repro-plan-v1"
+STATS_FORMAT = "repro-stats-v1"
+SAMPLING_FORMAT = "repro-sampling-v1"
 
 
 def plan_to_dict(report: OptimizationReport) -> dict:
@@ -110,6 +139,124 @@ def plan_from_dict(data: dict) -> OptimizationReport:
 def save_plan(report: OptimizationReport, path: str | Path) -> None:
     """Write a plan as pretty-printed JSON."""
     Path(path).write_text(json.dumps(plan_to_dict(report), indent=2) + "\n")
+
+
+def _level_to_dict(level: LevelStats) -> dict:
+    return {"accesses": level.accesses, "misses": level.misses}
+
+
+def _level_from_dict(data: dict) -> LevelStats:
+    return LevelStats(accesses=int(data["accesses"]), misses=int(data["misses"]))
+
+
+def _pcstats_to_dict(pc_stats: PCStats) -> dict:
+    return {
+        "accesses": {str(pc): n for pc, n in sorted(pc_stats.accesses.items())},
+        "misses": {str(pc): n for pc, n in sorted(pc_stats.misses.items())},
+    }
+
+
+def _pcstats_from_dict(data: dict) -> PCStats:
+    stats = PCStats()
+    stats.accesses = {int(pc): int(n) for pc, n in data.get("accesses", {}).items()}
+    stats.misses = {int(pc): int(n) for pc, n in data.get("misses", {}).items()}
+    return stats
+
+
+def stats_to_dict(stats: RunStats) -> dict:
+    """Convert one simulated run's statistics to JSON primitives."""
+    return {
+        "format": STATS_FORMAT,
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "l1": _level_to_dict(stats.l1),
+        "l2": _level_to_dict(stats.l2),
+        "llc": _level_to_dict(stats.llc),
+        "pc_l1": _pcstats_to_dict(stats.pc_l1),
+        "sw_prefetches": stats.sw_prefetches,
+        "sw_useful": stats.sw_useful,
+        "sw_useless": stats.sw_useless,
+        "sw_late": stats.sw_late,
+        "hw_prefetches": stats.hw_prefetches,
+        "hw_useful": stats.hw_useful,
+        "hw_useless": stats.hw_useless,
+        "dram_fills": stats.dram_fills,
+        "nta_fills": stats.nta_fills,
+        "dram_writebacks": stats.dram_writebacks,
+        "nt_store_writes": stats.nt_store_writes,
+        "line_bytes": stats.line_bytes,
+    }
+
+
+def stats_from_dict(data: dict) -> RunStats:
+    """Rebuild a :class:`RunStats` from :func:`stats_to_dict` output."""
+    if data.get("format") != STATS_FORMAT:
+        raise AnalysisError(f"unsupported stats format {data.get('format')!r}")
+    return RunStats(
+        cycles=float(data["cycles"]),
+        instructions=int(data["instructions"]),
+        l1=_level_from_dict(data["l1"]),
+        l2=_level_from_dict(data["l2"]),
+        llc=_level_from_dict(data["llc"]),
+        pc_l1=_pcstats_from_dict(data.get("pc_l1", {})),
+        sw_prefetches=int(data["sw_prefetches"]),
+        sw_useful=int(data["sw_useful"]),
+        sw_useless=int(data["sw_useless"]),
+        sw_late=int(data["sw_late"]),
+        hw_prefetches=int(data["hw_prefetches"]),
+        hw_useful=int(data["hw_useful"]),
+        hw_useless=int(data["hw_useless"]),
+        dram_fills=int(data["dram_fills"]),
+        nta_fills=int(data["nta_fills"]),
+        dram_writebacks=int(data["dram_writebacks"]),
+        nt_store_writes=int(data["nt_store_writes"]),
+        line_bytes=int(data["line_bytes"]),
+    )
+
+
+def sampling_to_dict(sampling: SamplingResult) -> dict:
+    """Convert one workload profile's sampling pass to JSON primitives."""
+    return {
+        "format": SAMPLING_FORMAT,
+        "sample_rate": sampling.sample_rate,
+        "n_refs": sampling.n_refs,
+        "overhead_estimate": sampling.overhead_estimate,
+        "reuse": {
+            "start_pc": sampling.reuse.start_pc.tolist(),
+            "end_pc": sampling.reuse.end_pc.tolist(),
+            "distance": sampling.reuse.distance.tolist(),
+            "n_refs": sampling.reuse.n_refs,
+        },
+        "strides": {
+            "pc": sampling.strides.pc.tolist(),
+            "stride": sampling.strides.stride.tolist(),
+            "recurrence": sampling.strides.recurrence.tolist(),
+        },
+    }
+
+
+def sampling_from_dict(data: dict) -> SamplingResult:
+    """Rebuild a :class:`SamplingResult` from :func:`sampling_to_dict` output."""
+    if data.get("format") != SAMPLING_FORMAT:
+        raise AnalysisError(f"unsupported sampling format {data.get('format')!r}")
+    reuse = data["reuse"]
+    strides = data["strides"]
+    return SamplingResult(
+        reuse=ReuseSampleSet(
+            start_pc=np.asarray(reuse["start_pc"], dtype=np.int64),
+            end_pc=np.asarray(reuse["end_pc"], dtype=np.int64),
+            distance=np.asarray(reuse["distance"], dtype=np.int64),
+            n_refs=int(reuse["n_refs"]),
+        ),
+        strides=StrideSampleSet(
+            pc=np.asarray(strides["pc"], dtype=np.int64),
+            stride=np.asarray(strides["stride"], dtype=np.int64),
+            recurrence=np.asarray(strides["recurrence"], dtype=np.int64),
+        ),
+        sample_rate=float(data["sample_rate"]),
+        n_refs=int(data["n_refs"]),
+        overhead_estimate=float(data["overhead_estimate"]),
+    )
 
 
 def load_plan(path: str | Path) -> OptimizationReport:

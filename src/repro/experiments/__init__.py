@@ -18,6 +18,8 @@ fig12_parallel      Fig. 12 (multi-threaded suites)
 ==================  ===========================================
 """
 
+from repro.api import ExperimentSpec
+from repro.experiments.engine import ExperimentEngine, configure, current_engine
 from repro.experiments.runner import (
     CONFIGS,
     WorkloadProfile,
@@ -25,13 +27,19 @@ from repro.experiments.runner import (
     profile_workload,
     run_all_configs,
     run_config,
+    run_spec,
 )
 
 __all__ = [
     "CONFIGS",
+    "ExperimentSpec",
+    "ExperimentEngine",
     "WorkloadProfile",
+    "configure",
+    "current_engine",
     "plan_for",
     "profile_workload",
     "run_all_configs",
     "run_config",
+    "run_spec",
 ]

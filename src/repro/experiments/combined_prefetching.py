@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_all_configs
+from repro.api import ExperimentSpec
+from repro.experiments.engine import ExperimentEngine, current_engine
 from repro.experiments.tables import render_table
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
 
@@ -50,13 +51,23 @@ def run_combined(
     machine_name: str,
     benchmarks: tuple[str, ...] = ALL_SINGLE_CORE,
     scale: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> list[CombinedRow]:
     """Evaluate hw, swnt and hw+sw on one machine."""
+    engine = engine or current_engine()
+    results = engine.run_grid(
+        benchmarks,
+        (machine_name,),
+        ("baseline", "hw", "swnt", "hwsw"),
+        scales=(scale,),
+    )
     rows = []
     for name in benchmarks:
-        runs = run_all_configs(
-            name, machine_name, scale=scale, configs=("baseline", "hw", "swnt", "hwsw")
-        )
+        cell = ExperimentSpec(name, machine_name, "baseline", "ref", scale)
+        runs = {
+            c: results[cell.with_config(c)]
+            for c in ("baseline", "hw", "swnt", "hwsw")
+        }
         base = runs["baseline"]
         rows.append(
             CombinedRow(

@@ -1,0 +1,317 @@
+"""Parallel experiment engine.
+
+The paper's evaluation is a grid of (workload × machine × config ×
+input-set × scale) cells, and — as PPT-Multicore observes for
+reuse-profile-driven models — the cells are embarrassingly parallel:
+each one is a pure function of its :class:`~repro.api.ExperimentSpec`.
+The engine exploits that twice over:
+
+* **fan-out** — cold cells are grouped by profile (cells sharing a
+  workload build/execution land in one task so profiling runs once per
+  group) and dispatched over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+* **reuse** — before anything is dispatched, every cell is resolved
+  against the in-process memo and, when enabled, the persistent
+  :class:`~repro.cache.ResultCache`, so repeated figure regeneration is
+  near-instant and different experiments share each other's cells.
+
+Results are **identical** to a serial run: the compute kernel is
+deterministic and workers return plain :class:`RunStats` that the parent
+installs into the same memo the serial path uses.
+
+The CLI configures one process-wide default engine via :func:`configure`
+(``--jobs``, ``--cache-dir``, ``--no-cache``); experiment drivers pick
+it up through :func:`current_engine` so library callers that never think
+about engines transparently inherit the CLI's parallelism and cache.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.api import CONFIGS, ExperimentSpec
+from repro.cache import ResultCache, default_cache_dir
+from repro.cachesim.stats import RunStats
+from repro.experiments import runner
+
+__all__ = [
+    "EngineStats",
+    "ExperimentEngine",
+    "configure",
+    "current_engine",
+    "reset_default_engine",
+]
+
+#: Environment variable providing the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def _default_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class EngineStats:
+    """Cumulative accounting of every cell the engine resolved.
+
+    ``memo_hits`` were free (already resident in-process), ``disk_hits``
+    cost one JSON read, ``computed`` cost a full simulation.  They always
+    sum to ``cells``.
+    """
+
+    cells: int = 0
+    computed: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+
+    def merge_batch(
+        self, computed: int, memo_hits: int, disk_hits: int, wall: float
+    ) -> None:
+        self.cells += computed + memo_hits + disk_hits
+        self.computed += computed
+        self.memo_hits += memo_hits
+        self.disk_hits += disk_hits
+        self.batches += 1
+        self.wall_seconds += wall
+
+    def format(self, jobs: int = 1, cache: ResultCache | None = None) -> str:
+        """Human-readable summary line (the CLI prints this to stderr)."""
+        parts = [
+            f"{self.cells} cells",
+            f"{self.computed} computed",
+            f"{self.memo_hits} memo hits",
+            f"{self.disk_hits} disk hits",
+            f"{jobs} job{'s' if jobs != 1 else ''}",
+            f"{self.wall_seconds:.2f}s",
+        ]
+        line = "engine: " + " | ".join(parts)
+        if cache is not None:
+            line += f"\n{cache.describe()}"
+        return line
+
+
+@dataclass
+class _Batch:
+    """Bookkeeping for one :meth:`ExperimentEngine.run` invocation."""
+
+    total: int = 0
+    done: int = 0
+    computed: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    started: float = field(default_factory=time.perf_counter)
+
+
+def _compute_group(specs: tuple[ExperimentSpec, ...]) -> list[tuple[ExperimentSpec, RunStats]]:
+    """Worker entry point: simulate one profile-sharing group of cells.
+
+    Runs in a separate process; ``runner``'s in-process caches make the
+    shared profiling pass and plans compute once per group.
+    """
+    return [(spec, runner.compute_run(spec)) for spec in specs]
+
+
+class ExperimentEngine:
+    """Resolves grids of experiment cells with parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cold cells.  ``1`` (default) computes
+        serially in-process; higher values fan profile groups out over a
+        process pool.  ``None`` reads ``$REPRO_JOBS`` (default 1).
+    cache_dir:
+        Directory of the persistent result cache.  ``None`` with
+        ``use_cache=True`` selects :func:`repro.cache.default_cache_dir`.
+    use_cache:
+        Whether to read/write the persistent cache at all.
+    progress:
+        Per-cell progress reporting: ``True`` prints one line per cell to
+        stderr, a callable receives ``(done, total, spec, source)`` with
+        ``source`` in {"memo", "disk", "computed"}; ``None``/``False``
+        disables reporting.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = False,
+        progress: bool | Callable[[int, int, ExperimentSpec, str], None] | None = None,
+    ) -> None:
+        self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache: ResultCache | None = None
+        if use_cache:
+            self.cache = ResultCache(cache_dir or default_cache_dir())
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self, specs: Iterable[ExperimentSpec]
+    ) -> dict[ExperimentSpec, RunStats]:
+        """Resolve every cell, in parallel where profitable.
+
+        Returns a mapping from each distinct requested spec to its
+        :class:`RunStats`; results are bit-identical to calling
+        :func:`repro.experiments.runner.run_spec` serially.
+        """
+        ordered = list(dict.fromkeys(specs))
+        batch = _Batch(total=len(ordered))
+        results: dict[ExperimentSpec, RunStats] = {}
+        cold: list[ExperimentSpec] = []
+
+        previous_cache = runner.set_cache(self.cache)
+        try:
+            for spec in ordered:
+                if runner.memo_contains(spec):
+                    stats = runner.run_spec(spec)
+                    results[spec] = stats
+                    # A cell computed before the cache was active may be
+                    # memo-only; make sure it reaches disk too.
+                    if self.cache is not None and not self.cache.has_stats(
+                        spec, runner.PROFILE_RATE
+                    ):
+                        self.cache.put_stats(spec, runner.PROFILE_RATE, stats)
+                    batch.memo_hits += 1
+                    self._report(batch, spec, "memo")
+                    continue
+                if self.cache is not None:
+                    stats = self.cache.get_stats(spec, runner.PROFILE_RATE)
+                    if stats is not None:
+                        runner.seed_memo(spec, stats)
+                        results[spec] = stats
+                        batch.disk_hits += 1
+                        self._report(batch, spec, "disk")
+                        continue
+                cold.append(spec)
+
+            if cold:
+                if self.jobs > 1:
+                    self._run_parallel(cold, results, batch)
+                else:
+                    for spec in cold:
+                        results[spec] = runner.run_spec(spec)
+                        batch.computed += 1
+                        self._report(batch, spec, "computed")
+        finally:
+            runner.set_cache(previous_cache)
+
+        wall = time.perf_counter() - batch.started
+        self.stats.merge_batch(
+            batch.computed, batch.memo_hits, batch.disk_hits, wall
+        )
+        return results
+
+    def run_grid(
+        self,
+        workloads: Sequence[str],
+        machines: Sequence[str],
+        configs: Sequence[str] = CONFIGS,
+        input_sets: Sequence[str] = ("ref",),
+        scales: Sequence[float] = (1.0,),
+    ) -> dict[ExperimentSpec, RunStats]:
+        """Convenience wrapper: build the cross product and run it."""
+        return self.run(
+            ExperimentSpec.grid(workloads, machines, configs, input_sets, scales)
+        )
+
+    def summary(self) -> str:
+        """Cumulative cell/cache accounting across every batch so far."""
+        return self.stats.format(jobs=self.jobs, cache=self.cache)
+
+    # -- internals -----------------------------------------------------
+
+    def _run_parallel(
+        self,
+        cold: list[ExperimentSpec],
+        results: dict[ExperimentSpec, RunStats],
+        batch: _Batch,
+    ) -> None:
+        """Fan profile-sharing groups of cold cells out over processes."""
+        groups: dict[tuple, list[ExperimentSpec]] = {}
+        for spec in cold:
+            groups.setdefault(spec.profile_key, []).append(spec)
+        group_list = [tuple(g) for g in groups.values()]
+
+        if len(group_list) == 1:
+            # One profile group gains nothing from a pool (the group is
+            # the unit of dispatch); avoid the fork + pickle overhead.
+            for spec in group_list[0]:
+                results[spec] = runner.run_spec(spec)
+                batch.computed += 1
+                self._report(batch, spec, "computed")
+            return
+
+        workers = min(self.jobs, len(group_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_compute_group, g) for g in group_list}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for spec, stats in future.result():
+                        runner.seed_memo(spec, stats, persist=True)
+                        results[spec] = stats
+                        batch.computed += 1
+                        self._report(batch, spec, "computed")
+
+    def _report(self, batch: _Batch, spec: ExperimentSpec, source: str) -> None:
+        batch.done += 1
+        if not self.progress:
+            return
+        if callable(self.progress):
+            self.progress(batch.done, batch.total, spec, source)
+            return
+        print(
+            f"[engine] {batch.done}/{batch.total} {spec.label()}: {source}",
+            file=sys.stderr,
+        )
+
+
+# -- process-wide default engine ---------------------------------------
+
+_DEFAULT_ENGINE: ExperimentEngine | None = None
+
+
+def configure(
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = False,
+    progress: bool | Callable[[int, int, ExperimentSpec, str], None] | None = None,
+) -> ExperimentEngine:
+    """Install and return the process-wide default engine.
+
+    Called by the CLI (from ``--jobs`` / ``--cache-dir`` / ``--no-cache``)
+    and by the benchmark harness; experiment drivers reach it through
+    :func:`current_engine`.
+    """
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = ExperimentEngine(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
+    return _DEFAULT_ENGINE
+
+
+def current_engine() -> ExperimentEngine:
+    """The default engine, creating a serial, cache-less one on demand."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine()
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Forget the default engine (tests and benchmark harness hygiene)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import get_machine
-from repro.experiments.runner import profile_workload
+from repro.experiments.runner import profile_for
 from repro.experiments.tables import render_table
 from repro.statstack.model import StatStackModel
 from repro.statstack.mrc import MissRatioCurve, PerPCMissRatios, default_size_grid
@@ -39,7 +39,7 @@ def run_fig3(
 ) -> Fig3Result:
     """Model the curves of Fig. 3 (mcf by default)."""
     machine = get_machine(machine_name)
-    profile = profile_workload(benchmark, "ref", scale)
+    profile = profile_for(benchmark, "ref", scale)
     model = StatStackModel(profile.sampling.reuse, machine.line_bytes)
     grid = default_size_grid(points_per_octave=points_per_octave)
     ratios = PerPCMissRatios(model, machine, size_grid=grid)

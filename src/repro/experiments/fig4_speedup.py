@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_all_configs
+from repro.api import ExperimentSpec
+from repro.experiments.engine import ExperimentEngine, current_engine
 from repro.experiments.tables import render_table
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
 
@@ -37,13 +38,20 @@ def run_fig4(
     machine_name: str,
     benchmarks: tuple[str, ...] = ALL_SINGLE_CORE,
     scale: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> list[SpeedupRow]:
     """Speedups of all policies on one machine."""
+    engine = engine or current_engine()
+    results = engine.run_grid(
+        benchmarks, (machine_name,), ("baseline", *POLICIES), scales=(scale,)
+    )
     rows = []
     for name in benchmarks:
-        runs = run_all_configs(name, machine_name, scale=scale)
-        base = runs["baseline"].cycles
-        speedups = {p: base / runs[p].cycles - 1.0 for p in POLICIES}
+        cell = ExperimentSpec(name, machine_name, "baseline", "ref", scale)
+        base = results[cell].cycles
+        speedups = {
+            p: base / results[cell.with_config(p)].cycles - 1.0 for p in POLICIES
+        }
         rows.append(SpeedupRow(name, machine_name, speedups))
     return rows
 

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ExperimentSpec
+from repro.experiments.engine import ExperimentEngine, current_engine
 from repro.experiments.fig4_speedup import POLICIES, POLICY_LABELS
-from repro.experiments.runner import run_all_configs
 from repro.experiments.tables import render_table
 from repro.metrics.traffic import traffic_increase, traffic_reduction_vs
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
@@ -32,13 +33,21 @@ def run_fig5(
     machine_name: str,
     benchmarks: tuple[str, ...] = ALL_SINGLE_CORE,
     scale: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> list[TrafficRow]:
     """Traffic changes of all policies on one machine."""
+    engine = engine or current_engine()
+    results = engine.run_grid(
+        benchmarks, (machine_name,), ("baseline", *POLICIES), scales=(scale,)
+    )
     rows = []
     for name in benchmarks:
-        runs = run_all_configs(name, machine_name, scale=scale)
-        base = runs["baseline"]
-        increases = {p: traffic_increase(base, runs[p]) for p in POLICIES}
+        cell = ExperimentSpec(name, machine_name, "baseline", "ref", scale)
+        base = results[cell]
+        increases = {
+            p: traffic_increase(base, results[cell.with_config(p)])
+            for p in POLICIES
+        }
         rows.append(TrafficRow(name, machine_name, increases))
     return rows
 
@@ -47,15 +56,22 @@ def swnt_vs_hw_reduction(
     machine_name: str,
     benchmarks: tuple[str, ...] = ALL_SINGLE_CORE,
     scale: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> float:
     """Average traffic reduction of Soft.Pref.+NT relative to HW pref.
 
     The paper reports 44 % on AMD and 64 % on Intel.
     """
+    engine = engine or current_engine()
+    results = engine.run_grid(
+        benchmarks, (machine_name,), ("hw", "swnt"), scales=(scale,)
+    )
     reductions = []
     for name in benchmarks:
-        runs = run_all_configs(name, machine_name, scale=scale)
-        reductions.append(traffic_reduction_vs(runs["hw"], runs["swnt"]))
+        cell = ExperimentSpec(name, machine_name, "hw", "ref", scale)
+        reductions.append(
+            traffic_reduction_vs(results[cell], results[cell.with_config("swnt")])
+        )
     return sum(reductions) / len(reductions)
 
 

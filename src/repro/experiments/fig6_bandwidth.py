@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ExperimentSpec
 from repro.config import get_machine
-from repro.experiments.runner import run_all_configs
+from repro.experiments.engine import ExperimentEngine, current_engine
 from repro.experiments.tables import render_table
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
 
@@ -38,13 +39,21 @@ def run_fig6(
     machine_name: str,
     benchmarks: tuple[str, ...] = ALL_SINGLE_CORE,
     scale: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> list[BandwidthRow]:
     """Average bandwidth of each configuration on one machine."""
     machine = get_machine(machine_name)
+    engine = engine or current_engine()
+    results = engine.run_grid(
+        benchmarks, (machine_name,), FIG6_CONFIGS, scales=(scale,)
+    )
     rows = []
     for name in benchmarks:
-        runs = run_all_configs(name, machine_name, scale=scale)
-        bw = {c: runs[c].bandwidth_gbs(machine.freq_ghz) for c in FIG6_CONFIGS}
+        cell = ExperimentSpec(name, machine_name, "baseline", "ref", scale)
+        bw = {
+            c: results[cell.with_config(c)].bandwidth_gbs(machine.freq_ghz)
+            for c in FIG6_CONFIGS
+        }
         rows.append(BandwidthRow(name, machine_name, bw))
     return rows
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import get_machine
-from repro.experiments.runner import hw_prefetcher_for, plan_for, profile_workload
+from repro.api import ExperimentSpec
+from repro.experiments.runner import hw_prefetcher_for, plan_for_spec, profile_for
 from repro.experiments.tables import render_table
 from repro.isa.interpreter import execute_program
 from repro.isa.rewriter import insert_prefetches
@@ -39,9 +40,11 @@ def _core_specs(mix: Mix, machine_name: str, config: str, scale: float) -> list[
     machine = get_machine(machine_name)
     specs = []
     for name, input_set in zip(mix.members, mix.inputs):
-        profile = profile_workload(name, input_set, scale)
+        profile = profile_for(name, input_set, scale)
         if config in ("sw", "swnt", "stride"):
-            plan = plan_for(name, machine_name, config, input_set, scale)
+            plan = plan_for_spec(
+                ExperimentSpec(name, machine_name, config, input_set, scale)
+            )
             program = insert_prefetches(profile.program, plan)
             execution = execute_program(program, seed=workload_seed(name, input_set))
         else:

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.api import ExperimentSpec
 from repro.config import get_machine
-from repro.experiments.runner import profile_workload, run_all_configs
+from repro.experiments.engine import ExperimentEngine, current_engine
+from repro.experiments.runner import profile_for, run_spec
 from repro.metrics.throughput import fair_speedup, qos_degradation, weighted_speedup
 from repro.multicore.contention import AppProfile, solve_mix
 from repro.statstack.model import StatStackModel
@@ -62,16 +64,13 @@ def app_profile(
 ) -> AppProfile:
     """Solo profile of one app under one config (cached)."""
     machine = get_machine(machine_name)
-    stats = run_all_configs(name, machine_name, input_set, scale, configs=(config,))[
-        config
-    ]
-    profile = profile_workload(name, input_set, scale)
+    cell = ExperimentSpec(name, machine_name, config, input_set, scale)
+    stats = run_spec(cell)
+    profile = profile_for(name, input_set, scale)
     throttleable = 0.0
     throttle_cost = 0.0
     if config == "hw":
-        base = run_all_configs(
-            name, machine_name, input_set, scale, configs=("baseline",)
-        )["baseline"]
+        base = run_spec(cell.with_config("baseline"))
         base_lines = base.dram_fills + base.dram_writebacks
         hw_lines = stats.dram_fills + stats.dram_writebacks
         throttleable = max(0.0, hw_lines - base_lines)
@@ -124,8 +123,32 @@ def evaluate_mixes(
     machine_name: str,
     configs: tuple[str, ...] = ("baseline", "hw", "swnt"),
     scale: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, list[MixOutcome]]:
-    """Solve every mix under every configuration."""
+    """Solve every mix under every configuration.
+
+    The solo runs behind every mix member are resolved up front through
+    the experiment engine (parallel + persistent cache); the per-mix
+    contention solve then reads them from the shared memo.
+    """
+    engine = engine or current_engine()
+    members = sorted(
+        {
+            (name, input_set)
+            for mix in mixes
+            for name, input_set in zip(mix.members, mix.inputs)
+        }
+    )
+    # ``hw`` app profiles additionally need the baseline solo run to
+    # size the throttleable stream (see :func:`app_profile`).
+    cell_configs = tuple(dict.fromkeys(
+        (*configs, *(("baseline",) if "hw" in configs else ()))
+    ))
+    engine.run(
+        ExperimentSpec(name, machine_name, config, input_set, scale)
+        for name, input_set in members
+        for config in cell_configs
+    )
     return {
         config: [evaluate_mix(mix, machine_name, config, scale) for mix in mixes]
         for config in configs

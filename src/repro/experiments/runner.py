@@ -1,4 +1,4 @@
-"""Single-benchmark experiment driver.
+"""Single-cell experiment compute layer.
 
 Encodes the paper's evaluation protocol (§VII):
 
@@ -12,16 +12,26 @@ Encodes the paper's evaluation protocol (§VII):
 * **Stride-centric** runs the rewritten program from the baseline plan
   of Luk'02/Wu'02-style insertion.
 
-Profiles and runs are cached in-process so experiment modules can share
-them; everything is keyed on (workload, input set, machine, config).
+Every cell is addressed by an :class:`~repro.api.ExperimentSpec`.  The
+spec-based entry points (:func:`profile_for_spec`, :func:`plan_for_spec`,
+:func:`run_spec`) share **one** memo table and, when a persistent
+:class:`~repro.cache.ResultCache` is activated (see :func:`set_cache`),
+one on-disk store — so the CLI, the parallel engine and the experiment
+drivers all reuse each other's work.  The historical stringly-typed
+functions (:func:`profile_workload`, :func:`plan_for`, :func:`run_config`,
+:func:`run_all_configs`) survive as thin deprecated shims over the spec
+API.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.api import CONFIGS, PLAN_KINDS, ExperimentSpec
 from repro.baselines.stride_centric import stride_centric_plan
+from repro.cache import ResultCache
 from repro.cachesim.hierarchy import CacheHierarchy
 from repro.cachesim.stats import RunStats
 from repro.config import MachineConfig, get_machine
@@ -37,7 +47,19 @@ from repro.workloads.base import build_program, workload_seed
 
 __all__ = [
     "CONFIGS",
+    "PROFILE_RATE",
     "WorkloadProfile",
+    "profile_for",
+    "profile_for_spec",
+    "plan_for_spec",
+    "compute_run",
+    "run_spec",
+    "set_cache",
+    "get_cache",
+    "seed_memo",
+    "memo_contains",
+    "memo_size",
+    "clear_memo",
     "profile_workload",
     "plan_for",
     "run_config",
@@ -45,16 +67,35 @@ __all__ = [
     "hw_prefetcher_for",
 ]
 
-#: The four prefetching configurations of Figs. 4–6, plus the baseline
-#: and the combined HW+SW configuration of §VIII-B (Lee et al.'s
-#: observation, which the paper confirms: combining the two can hurt).
-CONFIGS = ("baseline", "hw", "sw", "swnt", "stride", "hwsw")
-
 #: Sampling rate used for profiling.  The paper samples 1/100k over full
 #: SPEC runs (~1e11 references → ~1e6 samples); our traces are ~5e5
 #: references, so an equivalent *sample count density per static
 #: instruction* needs a proportionally higher rate.
 PROFILE_RATE = 2e-3
+
+#: In-process memo of completed cells, shared by every entry point.  A
+#: plain dict (not ``lru_cache``) so the parallel engine can seed it
+#: with worker-computed and disk-loaded results.
+_MEMO: dict[ExperimentSpec, RunStats] = {}
+
+#: The active persistent cache, or ``None`` (process-local memo only).
+_CACHE: ResultCache | None = None
+
+
+def set_cache(cache: ResultCache | None) -> ResultCache | None:
+    """Activate (or with ``None``, deactivate) the persistent result cache.
+
+    Returns the previously active cache so callers can restore it.
+    """
+    global _CACHE
+    previous = _CACHE
+    _CACHE = cache
+    return previous
+
+
+def get_cache() -> ResultCache | None:
+    """The currently active persistent cache, if any."""
+    return _CACHE
 
 
 @dataclass(frozen=True)
@@ -66,48 +107,71 @@ class WorkloadProfile:
     sampling: SamplingResult
 
 
-@lru_cache(maxsize=128)
-def profile_workload(
+def profile_for(
     name: str,
     input_set: str = "ref",
     scale: float = 1.0,
     rate: float = PROFILE_RATE,
 ) -> WorkloadProfile:
-    """Build, execute and sample one workload (cached)."""
+    """Build, execute and sample one workload (cached).
+
+    The sampling pass — the only part of profiling that is both
+    expensive and machine-independent — is additionally served from the
+    persistent cache when one is active.
+    """
+    # Normalise before the memo so defaulted and explicit arguments hit
+    # one cache entry.
+    return _profile(name, input_set, float(scale), float(rate))
+
+
+@lru_cache(maxsize=128)
+def _profile(name: str, input_set: str, scale: float, rate: float) -> WorkloadProfile:
     program = build_program(name, input_set, scale)
     seed = workload_seed(name, input_set)
     execution = execute_program(program, seed=seed)
-    sampler = RuntimeSampler(rate=rate, seed=seed & 0xFFFF_FFFF)
-    sampling = sampler.sample(execution.trace)
+    sampling = _CACHE.get_sampling(name, input_set, scale, rate) if _CACHE else None
+    if sampling is None:
+        sampler = RuntimeSampler(rate=rate, seed=seed & 0xFFFF_FFFF)
+        sampling = sampler.sample(execution.trace)
+        if _CACHE is not None:
+            _CACHE.put_sampling(name, input_set, scale, rate, sampling)
     return WorkloadProfile(program, execution, sampling)
 
 
+def profile_for_spec(spec: ExperimentSpec) -> WorkloadProfile:
+    """Profile the workload a spec's cell evaluates (machine-agnostic)."""
+    return profile_for(spec.workload, spec.input_set, spec.scale)
+
+
 @lru_cache(maxsize=256)
-def plan_for(
-    name: str,
-    machine_name: str,
-    kind: str = "swnt",
-    input_set: str = "ref",
-    scale: float = 1.0,
-) -> OptimizationReport:
+def _plan(name: str, machine_name: str, kind: str, scale: float) -> OptimizationReport:
     """Prefetch plan of one method for one workload on one machine.
 
-    ``kind`` ∈ {"sw", "swnt", "stride"}.  Profiling always uses the
-    reference input (the paper's single-profile methodology), but the
-    *profiled scale* matches the evaluated scale so distances stay
-    consistent.
+    Profiling always uses the reference input (the paper's single-profile
+    methodology), but the *profiled scale* matches the evaluated scale so
+    distances stay consistent — hence no ``input_set`` in the key.
     """
-    profile = profile_workload(name, "ref", scale)
+    if kind not in PLAN_KINDS:
+        raise ExperimentError(f"unknown plan kind {kind!r}; valid: {PLAN_KINDS}")
+    profile = profile_for(name, "ref", scale)
     machine = get_machine(machine_name)
     if kind == "stride":
         return stride_centric_plan(profile.sampling, machine)
-    if kind in ("sw", "swnt"):
-        settings = OptimizerSettings(enable_bypass=(kind == "swnt"))
-        optimizer = PrefetchOptimizer(machine, settings)
-        return optimizer.analyze(
-            profile.sampling, refs_per_pc=profile.program.refs_per_pc()
+    settings = OptimizerSettings(enable_bypass=(kind == "swnt"))
+    optimizer = PrefetchOptimizer(machine, settings)
+    return optimizer.analyze(
+        profile.sampling, refs_per_pc=profile.program.refs_per_pc()
+    )
+
+
+def plan_for_spec(spec: ExperimentSpec) -> OptimizationReport:
+    """The software prefetch plan a spec's configuration requires."""
+    kind = spec.plan_kind
+    if kind is None:
+        raise ExperimentError(
+            f"config {spec.config!r} carries no software plan"
         )
-    raise ExperimentError(f"unknown plan kind {kind!r}")
+    return _plan(spec.workload, spec.machine, kind, spec.scale)
 
 
 def hw_prefetcher_for(machine: MachineConfig, utilisation=None):
@@ -117,31 +181,26 @@ def hw_prefetcher_for(machine: MachineConfig, utilisation=None):
     return intel_hw_prefetcher(machine.line_bytes, utilisation)
 
 
-def run_config(
-    name: str,
-    machine_name: str,
-    config: str,
-    input_set: str = "ref",
-    scale: float = 1.0,
-) -> RunStats:
-    """Simulate one workload under one prefetching configuration."""
-    if config not in CONFIGS:
-        raise ExperimentError(f"unknown config {config!r}; valid: {CONFIGS}")
-    machine = get_machine(machine_name)
-    profile = profile_workload(name, input_set, scale)
+def compute_run(spec: ExperimentSpec) -> RunStats:
+    """Simulate one cell, unconditionally (no memo, no persistent cache).
 
-    if config in ("baseline", "hw"):
+    This is the pure deterministic compute kernel the engine's worker
+    processes call; everything else layers caching on top of it.
+    """
+    machine = get_machine(spec.machine)
+    profile = profile_for_spec(spec)
+
+    if spec.config in ("baseline", "hw"):
         execution = profile.execution
     else:
-        plan_kind = "swnt" if config == "hwsw" else config
-        plan = plan_for(name, machine_name, plan_kind, input_set, scale)
+        plan = plan_for_spec(spec)
         rewritten = insert_prefetches(profile.program, plan)
         execution = execute_program(
-            rewritten, seed=workload_seed(name, input_set)
+            rewritten, seed=workload_seed(spec.workload, spec.input_set)
         )
 
     hierarchy = CacheHierarchy(machine)
-    if config in ("hw", "hwsw"):
+    if spec.config in ("hw", "hwsw"):
         hierarchy.prefetcher = hw_prefetcher_for(
             machine, hierarchy.bandwidth.utilisation
         )
@@ -154,11 +213,116 @@ def run_config(
     return stats
 
 
-@lru_cache(maxsize=512)
-def _run_config_cached(
-    name: str, machine_name: str, config: str, input_set: str, scale: float
+def run_spec(spec: ExperimentSpec) -> RunStats:
+    """Simulate one cell through the shared memo and persistent cache.
+
+    Every caller — bare single-cell runs, grid sweeps, the engine's
+    serial path — funnels through this one cached entry point, so any
+    result computed anywhere in the process (or stored on disk by a
+    previous process) is reused everywhere.
+    """
+    cached = _MEMO.get(spec)
+    if cached is not None:
+        return cached
+    if _CACHE is not None:
+        stats = _CACHE.get_stats(spec, PROFILE_RATE)
+        if stats is not None:
+            _MEMO[spec] = stats
+            return stats
+    stats = compute_run(spec)
+    _MEMO[spec] = stats
+    if _CACHE is not None:
+        _CACHE.put_stats(spec, PROFILE_RATE, stats)
+    return stats
+
+
+def seed_memo(spec: ExperimentSpec, stats: RunStats, persist: bool = False) -> None:
+    """Install an externally computed result (engine workers, disk loads)."""
+    _MEMO[spec] = stats
+    if persist and _CACHE is not None:
+        _CACHE.put_stats(spec, PROFILE_RATE, stats)
+
+
+def memo_contains(spec: ExperimentSpec) -> bool:
+    """Whether a cell is already resident in the in-process memo."""
+    return spec in _MEMO
+
+
+def memo_size() -> int:
+    """Number of cells resident in the in-process memo."""
+    return len(_MEMO)
+
+
+def clear_memo() -> None:
+    """Drop every in-process cache (memo, profiles, plans).
+
+    Benchmarks use this to measure genuinely cold runs; the persistent
+    disk cache, if active, is untouched.
+    """
+    _MEMO.clear()
+    _profile.cache_clear()
+    _plan.cache_clear()
+
+
+# -- deprecated stringly-typed shims -----------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.runner.{old} is deprecated; use {new} "
+        "with repro.api.ExperimentSpec instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def profile_workload(
+    name: str,
+    input_set: str = "ref",
+    scale: float = 1.0,
+    rate: float = PROFILE_RATE,
+) -> WorkloadProfile:
+    """Deprecated shim: build, execute and sample one workload.
+
+    Use :func:`repro.api.profile` (or :func:`profile_for`) instead.
+    """
+    _deprecated("profile_workload", "repro.api.profile")
+    return profile_for(name, input_set, scale, rate)
+
+
+def plan_for(
+    name: str,
+    machine_name: str,
+    kind: str = "swnt",
+    input_set: str = "ref",
+    scale: float = 1.0,
+) -> OptimizationReport:
+    """Deprecated shim: prefetch plan of one method on one machine.
+
+    Use :func:`repro.api.plan` instead.  ``input_set`` never influenced
+    the plan (profiling is always on the reference input) and is ignored.
+    """
+    _deprecated("plan_for", "repro.api.plan")
+    return plan_for_spec(
+        ExperimentSpec(name, machine_name, kind, input_set, scale)
+    )
+
+
+def run_config(
+    name: str,
+    machine_name: str,
+    config: str,
+    input_set: str = "ref",
+    scale: float = 1.0,
 ) -> RunStats:
-    return run_config(name, machine_name, config, input_set, scale)
+    """Deprecated shim: simulate one workload under one configuration.
+
+    Use :func:`repro.api.run` instead.  Unlike the historical version,
+    this routes through the shared cached entry point, so results
+    computed here and by grid sweeps are interchangeable.
+    """
+    _deprecated("run_config", "repro.api.run")
+    return run_spec(ExperimentSpec(name, machine_name, config, input_set, scale))
 
 
 def run_all_configs(
@@ -168,8 +332,15 @@ def run_all_configs(
     scale: float = 1.0,
     configs: tuple[str, ...] = CONFIGS,
 ) -> dict[str, RunStats]:
-    """Run every requested configuration (cached across experiments)."""
+    """Deprecated shim: run every requested configuration (cached).
+
+    Use :func:`repro.api.run_many` (engine-backed, parallelisable)
+    instead.
+    """
+    _deprecated("run_all_configs", "repro.api.run_many")
     return {
-        config: _run_config_cached(name, machine_name, config, input_set, scale)
+        config: run_spec(
+            ExperimentSpec(name, machine_name, config, input_set, scale)
+        )
         for config in configs
     }

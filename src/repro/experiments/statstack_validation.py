@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.cachesim.functional import FunctionalCacheSim
 from repro.config import CacheConfig, get_machine
-from repro.experiments.runner import profile_workload
+from repro.experiments.runner import profile_for
 from repro.experiments.tables import render_table
 from repro.statstack.model import StatStackModel
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
@@ -53,12 +53,11 @@ def _model_coverage(
 def validate_benchmark(name: str, scale: float = 1.0) -> ValidationRow:
     """Model-vs-simulation coverage for one benchmark (64 kB and 512 kB)."""
     machine = get_machine("amd-phenom-ii")
-    profile = profile_workload(name, "ref", scale)
+    profile = profile_for(name, "ref", scale)
     trace = profile.execution.trace
     model = StatStackModel(profile.sampling.reuse, machine.line_bytes)
 
     demand = trace.demand_only()
-    pcs, counts = [], []
     import numpy as np
 
     u, c = np.unique(demand.pc, return_counts=True)

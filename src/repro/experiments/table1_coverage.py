@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from repro.cachesim.functional import FunctionalCacheSim
 from repro.config import get_machine
 from repro.core.insertion import apply_prefetch_plan
-from repro.experiments.runner import plan_for, profile_workload
+from repro.api import ExperimentSpec
+from repro.experiments.runner import plan_for_spec, profile_for
 from repro.experiments.tables import render_table
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
 
@@ -39,12 +40,12 @@ def coverage_for(
 ) -> tuple[float, float, int]:
     """(coverage, OH, prefetches executed) of one method on one benchmark."""
     machine = get_machine(_MACHINE)
-    profile = profile_workload(name, "ref", scale)
+    profile = profile_for(name, "ref", scale)
     baseline_sim = FunctionalCacheSim(machine.l1)
     baseline = baseline_sim.run(profile.execution.trace)
     total_misses = baseline.total_misses()
 
-    plan = plan_for(name, _MACHINE, kind, scale=scale)
+    plan = plan_for_spec(ExperimentSpec(name, _MACHINE, kind, scale=scale))
     optimised_trace = apply_prefetch_plan(profile.execution.trace, plan)
     optimised_sim = FunctionalCacheSim(machine.l1)
     optimised = optimised_sim.run(optimised_trace, honor_prefetches=True)

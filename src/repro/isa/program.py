@@ -15,7 +15,7 @@ paper's binaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ProgramError
 from repro.isa.instructions import Instruction, Load, Prefetch, Store

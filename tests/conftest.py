@@ -8,6 +8,27 @@ import pytest
 from repro.config import CacheConfig, MachineConfig, amd_phenom_ii, intel_i7_2600k
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the default persistent cache at a per-session temp dir.
+
+    CLI commands enable the disk cache by default; without this, test
+    runs would litter the working directory with ``.repro-cache`` and —
+    worse — later runs could replay results cached by an older build.
+    """
+    import os
+
+    from repro.cache import CACHE_DIR_ENV
+
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,131 @@
+"""Tests for the unified ExperimentSpec API and the deprecated shims."""
+
+import pytest
+
+from repro.api import CONFIGS, ExperimentSpec, plan, profile, run
+from repro.errors import ExperimentError
+from repro.experiments import runner
+
+SCALE = 0.05
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = ExperimentSpec("mcf", "amd-phenom-ii")
+        assert spec.config == "baseline"
+        assert spec.input_set == "ref"
+        assert spec.scale == 1.0
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("mcf", "amd-phenom-ii", "quantum")
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_scale_rejected(self, scale):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec("mcf", "amd-phenom-ii", scale=scale)
+
+    @pytest.mark.parametrize("field", ["workload", "machine", "input_set"])
+    def test_empty_strings_rejected(self, field):
+        kwargs = {"workload": "mcf", "machine": "amd-phenom-ii", "input_set": "ref"}
+        kwargs[field] = ""
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(**kwargs)
+
+    def test_scale_normalised_to_float(self):
+        a = ExperimentSpec("mcf", "amd-phenom-ii", scale=1)
+        b = ExperimentSpec("mcf", "amd-phenom-ii", scale=1.0)
+        assert a == b and hash(a) == hash(b)
+        assert isinstance(a.scale, float)
+
+    def test_frozen(self):
+        spec = ExperimentSpec("mcf", "amd-phenom-ii")
+        with pytest.raises(AttributeError):
+            spec.config = "hw"
+
+
+class TestSpecDerivedViews:
+    def test_profile_key_ignores_machine_and_config(self):
+        a = ExperimentSpec("mcf", "amd-phenom-ii", "hw", "train", 0.2)
+        b = ExperimentSpec("mcf", "intel-i7-2600k", "swnt", "train", 0.2)
+        assert a.profile_key == b.profile_key == ("mcf", "train", 0.2)
+
+    @pytest.mark.parametrize(
+        "config,kind",
+        [("baseline", None), ("hw", None), ("sw", "sw"), ("swnt", "swnt"),
+         ("stride", "stride"), ("hwsw", "swnt")],
+    )
+    def test_plan_kind(self, config, kind):
+        assert ExperimentSpec("mcf", "amd-phenom-ii", config).plan_kind == kind
+
+    def test_with_config(self):
+        spec = ExperimentSpec("mcf", "amd-phenom-ii", "baseline", "train", 0.2)
+        other = spec.with_config("swnt")
+        assert other.config == "swnt"
+        assert other.profile_key == spec.profile_key
+
+    def test_grid_order_and_size(self):
+        grid = ExperimentSpec.grid(
+            ("a1", "b2"), ("amd-phenom-ii",), ("baseline", "hw"), scales=(0.1,)
+        )
+        assert len(grid) == 4
+        assert grid[0] == ExperimentSpec("a1", "amd-phenom-ii", "baseline", "ref", 0.1)
+        assert [s.workload for s in grid] == ["a1", "a1", "b2", "b2"]
+
+    def test_label(self):
+        spec = ExperimentSpec("mcf", "amd-phenom-ii", "swnt", "train", 0.25)
+        assert spec.label() == "mcf/amd-phenom-ii/swnt/train@0.25"
+
+
+class TestFacade:
+    def test_run_is_memoised(self):
+        spec = ExperimentSpec("libquantum", "amd-phenom-ii", "baseline", scale=SCALE)
+        assert run(spec) is run(spec)
+
+    def test_profile_ignores_machine(self):
+        a = profile(ExperimentSpec("mcf", "amd-phenom-ii", scale=SCALE))
+        b = profile(ExperimentSpec("mcf", "intel-i7-2600k", scale=SCALE))
+        assert a is b
+
+    def test_plan_requires_plan_config(self):
+        with pytest.raises(ExperimentError):
+            plan(ExperimentSpec("mcf", "amd-phenom-ii", "baseline", scale=SCALE))
+
+    def test_plan_for_hwsw_is_swnt_plan(self):
+        hwsw = plan(ExperimentSpec("libquantum", "amd-phenom-ii", "hwsw", scale=SCALE))
+        swnt = plan(ExperimentSpec("libquantum", "amd-phenom-ii", "swnt", scale=SCALE))
+        assert hwsw is swnt
+
+
+class TestDeprecatedShims:
+    def test_profile_workload_warns_and_matches(self):
+        direct = runner.profile_for("mcf", "ref", SCALE)
+        with pytest.warns(DeprecationWarning):
+            legacy = runner.profile_workload("mcf", "ref", SCALE)
+        assert legacy is direct
+
+    def test_run_config_warns_and_shares_cache(self):
+        spec = ExperimentSpec("libquantum", "amd-phenom-ii", "hw", scale=SCALE)
+        fresh = run(spec)
+        with pytest.warns(DeprecationWarning):
+            legacy = runner.run_config("libquantum", "amd-phenom-ii", "hw", scale=SCALE)
+        assert legacy is fresh
+
+    def test_run_all_configs_warns_and_covers_configs(self):
+        with pytest.warns(DeprecationWarning):
+            runs = runner.run_all_configs(
+                "libquantum", "amd-phenom-ii", scale=SCALE, configs=("baseline", "hw")
+            )
+        assert set(runs) == {"baseline", "hw"}
+        assert runs["baseline"] is run(
+            ExperimentSpec("libquantum", "amd-phenom-ii", "baseline", scale=SCALE)
+        )
+
+    def test_plan_for_warns_and_matches(self):
+        direct = plan(ExperimentSpec("libquantum", "amd-phenom-ii", "sw", scale=SCALE))
+        with pytest.warns(DeprecationWarning):
+            legacy = runner.plan_for("libquantum", "amd-phenom-ii", "sw", scale=SCALE)
+        assert legacy is direct
+
+    def test_configs_reexported(self):
+        assert runner.CONFIGS == CONFIGS

@@ -1,0 +1,179 @@
+"""Tests for the persistent result cache and its serialisation codecs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.cache import ResultCache
+from repro.cachesim.stats import LevelStats, PCStats, RunStats
+from repro.core.serialization import (
+    sampling_from_dict,
+    sampling_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.errors import AnalysisError
+from repro.experiments.runner import PROFILE_RATE, compute_run, profile_for
+
+SCALE = 0.05
+SPEC = ExperimentSpec("libquantum", "amd-phenom-ii", "baseline", scale=SCALE)
+
+
+def _stats_equal(a: RunStats, b: RunStats) -> bool:
+    return (
+        a.cycles == b.cycles
+        and a.instructions == b.instructions
+        and a.l1.accesses == b.l1.accesses
+        and a.l1.misses == b.l1.misses
+        and a.llc.misses == b.llc.misses
+        and a.pc_l1.accesses == b.pc_l1.accesses
+        and a.pc_l1.misses == b.pc_l1.misses
+        and a.sw_prefetches == b.sw_prefetches
+        and a.dram_fills == b.dram_fills
+        and a.nta_fills == b.nta_fills
+        and a.dram_writebacks == b.dram_writebacks
+        and a.line_bytes == b.line_bytes
+    )
+
+
+class TestStatsCodec:
+    def test_round_trip_real_run(self):
+        stats = compute_run(SPEC)
+        data = json.loads(json.dumps(stats_to_dict(stats)))
+        assert _stats_equal(stats, stats_from_dict(data))
+
+    def test_round_trip_synthetic(self):
+        pc = PCStats()
+        pc.record(3, True)
+        pc.record(3, False)
+        stats = RunStats(
+            cycles=12.5,
+            instructions=40,
+            l1=LevelStats(10, 2),
+            l2=LevelStats(2, 1),
+            llc=LevelStats(1, 1),
+            pc_l1=pc,
+            sw_prefetches=5,
+            sw_useful=3,
+            sw_useless=1,
+            sw_late=1,
+            hw_prefetches=2,
+            hw_useful=1,
+            hw_useless=1,
+            dram_fills=7,
+            nta_fills=2,
+            dram_writebacks=3,
+            nt_store_writes=1,
+            line_bytes=64,
+        )
+        rebuilt = stats_from_dict(stats_to_dict(stats))
+        assert _stats_equal(stats, rebuilt)
+        assert rebuilt.dram_bytes == stats.dram_bytes
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(AnalysisError):
+            stats_from_dict({"format": "repro-stats-v999"})
+
+
+class TestSamplingCodec:
+    def test_round_trip_real_profile(self):
+        sampling = profile_for("mcf", "ref", SCALE).sampling
+        data = json.loads(json.dumps(sampling_to_dict(sampling)))
+        rebuilt = sampling_from_dict(data)
+        assert rebuilt.sample_rate == sampling.sample_rate
+        assert rebuilt.n_refs == sampling.n_refs
+        assert rebuilt.overhead_estimate == sampling.overhead_estimate
+        np.testing.assert_array_equal(rebuilt.reuse.distance, sampling.reuse.distance)
+        np.testing.assert_array_equal(rebuilt.reuse.start_pc, sampling.reuse.start_pc)
+        np.testing.assert_array_equal(rebuilt.strides.stride, sampling.strides.stride)
+        np.testing.assert_array_equal(
+            rebuilt.strides.recurrence, sampling.strides.recurrence
+        )
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(AnalysisError):
+            sampling_from_dict({"format": "nope"})
+
+
+class TestResultCache:
+    def test_stats_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = compute_run(SPEC)
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None
+        cache.put_stats(SPEC, PROFILE_RATE, stats)
+        loaded = cache.get_stats(SPEC, PROFILE_RATE)
+        assert loaded is not None and _stats_equal(stats, loaded)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_sampling_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sampling = profile_for("mcf", "ref", SCALE).sampling
+        assert cache.get_sampling("mcf", "ref", SCALE, PROFILE_RATE) is None
+        cache.put_sampling("mcf", "ref", SCALE, PROFILE_RATE, sampling)
+        loaded = cache.get_sampling("mcf", "ref", SCALE, PROFILE_RATE)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.reuse.distance, sampling.reuse.distance)
+
+    def test_key_depends_on_every_spec_field(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.stats_key(SPEC, PROFILE_RATE)
+        assert cache.stats_key(SPEC.with_config("hw"), PROFILE_RATE) != base
+        assert (
+            cache.stats_key(
+                ExperimentSpec("mcf", "amd-phenom-ii", "baseline", scale=SCALE),
+                PROFILE_RATE,
+            )
+            != base
+        )
+        assert (
+            cache.stats_key(
+                ExperimentSpec("libquantum", "intel-i7-2600k", "baseline", scale=SCALE),
+                PROFILE_RATE,
+            )
+            != base
+        )
+
+    def test_key_invalidated_by_settings_change(self, tmp_path, monkeypatch):
+        """Changing a code-relevant setting (profiling rate, machine
+        geometry) must address a different cache entry."""
+        cache = ResultCache(tmp_path)
+        base = cache.stats_key(SPEC, PROFILE_RATE)
+        assert cache.stats_key(SPEC, PROFILE_RATE * 2) != base
+
+        import dataclasses
+
+        from repro import config
+
+        bigger_llc = dataclasses.replace(
+            config.amd_phenom_ii(),
+            llc=dataclasses.replace(config.amd_phenom_ii().llc, size_bytes=12 << 20),
+        )
+        monkeypatch.setitem(config.MACHINES, "amd-phenom-ii", lambda: bigger_llc)
+        assert cache.stats_key(SPEC, PROFILE_RATE) != base
+
+    def test_corrupted_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_stats(SPEC, PROFILE_RATE, compute_run(SPEC))
+        path = cache._path("stats", cache.stats_key(SPEC, PROFILE_RATE))
+        path.write_text("{not json")
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None
+        assert not path.exists()
+
+    def test_wrong_format_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.stats_key(SPEC, PROFILE_RATE)
+        path = cache._path("stats", key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"format": "repro-stats-v999"}))
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None
+
+    def test_counters_summary(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_stats(SPEC, PROFILE_RATE)
+        counters = cache.counters()
+        assert counters["stats"] == (0, 1, 0)
+        assert "stats 0 hit/1 miss" in cache.describe()

@@ -17,7 +17,7 @@ from repro.errors import AnalysisError
 from repro.sampling import RuntimeSampler, StrideSampleSet, collect_reuse_samples
 from repro.statstack import PerPCMissRatios, StatStackModel
 from repro.trace import MemoryTrace
-from repro.trace.synthesis import chase_pattern, strided_pattern
+from repro.trace.synthesis import strided_pattern
 
 
 def make_ratios(trace, machine, rate=5e-3, seed=0):

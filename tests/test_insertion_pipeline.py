@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import stride_centric_plan
-from repro.config import amd_phenom_ii, intel_i7_2600k
+from repro.config import intel_i7_2600k
 from repro.core import (
     OptimizerSettings,
     PrefetchDecision,

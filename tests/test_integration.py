@@ -7,7 +7,7 @@ harness verifies at full scale.
 
 import pytest
 
-from repro.cachesim import CacheHierarchy, FunctionalCacheSim
+from repro.cachesim import FunctionalCacheSim
 from repro.config import amd_phenom_ii, get_machine
 from repro.core import apply_prefetch_plan
 from repro.experiments.runner import (
@@ -124,12 +124,10 @@ class TestMulticoreShape:
 class TestDeterminism:
     def test_full_pipeline_reproducible(self):
         a = run_all_configs("gcc", "amd-phenom-ii", scale=0.05, configs=("swnt",))
-        # bypass the cache with a fresh computation
+        # bypass every in-process cache with a fresh computation
         from repro.experiments import runner
 
-        runner.profile_workload.cache_clear()
-        runner.plan_for.cache_clear()
-        runner._run_config_cached.cache_clear()
+        runner.clear_memo()
         b = run_all_configs("gcc", "amd-phenom-ii", scale=0.05, configs=("swnt",))
         assert a["swnt"].cycles == b["swnt"].cycles
         assert a["swnt"].dram_fills == b["swnt"].dram_fills

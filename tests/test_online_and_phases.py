@@ -9,7 +9,6 @@ from repro.core import OnlineOptimizer
 from repro.errors import AnalysisError, SamplingError
 from repro.sampling import (
     PhaseDetector,
-    RuntimeSampler,
     phase_aware_sample,
     window_signatures,
 )

@@ -11,7 +11,7 @@ from repro.core.report import PrefetchDecision
 from repro.core.insertion import apply_prefetch_plan
 from repro.sampling.reuse import collect_reuse_samples, next_same_value_index
 from repro.statstack.model import StatStackModel
-from repro.trace.events import MemOp, MemoryTrace
+from repro.trace.events import MemoryTrace
 from repro.trace.synthesis import strided_pattern, sweep_pattern
 
 lines = st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=400)

@@ -6,7 +6,7 @@ import pytest
 from repro.cachesim import FunctionalCacheSim
 from repro.config import CacheConfig
 from repro.errors import ModelError
-from repro.sampling import RuntimeSampler, collect_reuse_samples
+from repro.sampling import collect_reuse_samples
 from repro.statstack import StatStackModel
 from repro.statstack.setassoc import associativity_penalty, set_associative_miss_ratio
 from repro.trace import MemoryTrace
