@@ -1,0 +1,102 @@
+"""Fault-tolerance overhead: disarmed instrumentation vs injected failures.
+
+Measures engine wall-clock for one 12-cell slice of the evaluation grid
+(4 workloads × 3 configs) under two regimes:
+
+* **disarmed** — the fault-injection registry is empty, so every
+  instrumented site costs one module-attribute truth test; this is the
+  tax every production run pays for the fault-tolerance layer;
+* **10 % injected** — a deterministic ~10 % of cells raise in the
+  worker on every attempt; the engine runs best-effort, retries, bisects
+  the poison groups, and reports the losses.
+
+The point of the artefact is the ratio: the disarmed run should match
+the pre-fault-tolerance engine (the layer is free when healthy), and the
+injected run bounds what a poison cell costs in re-dispatches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import save_artifact
+
+from repro import faults
+from repro.api import ExperimentSpec
+from repro.experiments import runner
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.tables import render_table
+from repro.retry import RetryPolicy
+
+WORKLOADS = ("libquantum", "mcf", "lbm", "soplex")
+MACHINE = "amd-phenom-ii"
+GRID_CONFIGS = ("baseline", "hw", "swnt")
+FAILURE_RATE = 0.10
+
+
+def _timed_run(engine: ExperimentEngine, grid) -> float:
+    start = time.perf_counter()
+    engine.run(grid)
+    return time.perf_counter() - start
+
+
+def test_fault_overhead(bench_scale, results_dir):
+    jobs = max(2, int(os.environ.get("REPRO_BENCH_JOBS", "2")))
+    grid = ExperimentSpec.grid(
+        WORKLOADS, (MACHINE,), GRID_CONFIGS, scales=(bench_scale,)
+    )
+    n_poison = max(1, round(FAILURE_RATE * len(grid)))
+    poisoned = set(grid[:: max(1, len(grid) // n_poison)][:n_poison])
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+    faults.disarm()
+    runner.clear_memo()
+    clean = ExperimentEngine(jobs=jobs, retry=policy)
+    t_clean = _timed_run(clean, grid)
+    assert clean.stats.computed == len(grid)
+    assert not clean.last_failures
+
+    runner.clear_memo()
+    faults.arm("worker.compute", "raise", match=lambda s: s in poisoned)
+    try:
+        injected = ExperimentEngine(jobs=jobs, strict=False, retry=policy)
+        t_injected = _timed_run(injected, grid)
+    finally:
+        faults.disarm()
+    assert set(injected.last_failures.specs()) == poisoned
+    assert injected.stats.computed == len(grid) - len(poisoned)
+
+    rows = [
+        (
+            "faults disarmed",
+            f"{t_clean:.2f}",
+            f"{t_clean / len(grid):.3f}",
+            f"{clean.stats.computed} computed",
+        ),
+        (
+            f"{n_poison}/{len(grid)} cells poisoned",
+            f"{t_injected:.2f}",
+            f"{t_injected / len(grid):.3f}",
+            f"{injected.stats.computed} computed, "
+            f"{injected.stats.failed} failed, "
+            f"{injected.stats.retries} retries",
+        ),
+        (
+            "overhead (injected/clean)",
+            f"{t_injected / max(t_clean, 1e-9):.2f}x",
+            "",
+            "",
+        ),
+    ]
+    text = render_table(
+        ("regime", "wall (s)", "s/cell", "cells"),
+        rows,
+        title=(
+            f"Fault-tolerance overhead — {len(grid)}-cell grid "
+            f"({len(WORKLOADS)} workloads x {len(GRID_CONFIGS)} configs, "
+            f"{MACHINE}, scale {bench_scale:g}, jobs={jobs}, "
+            f"{FAILURE_RATE:.0%} injected failure rate)"
+        ),
+    )
+    save_artifact(results_dir, "fault_overhead.txt", text)

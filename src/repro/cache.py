@@ -32,8 +32,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
+from repro import faults
 from repro.api import ExperimentSpec
 from repro.config import get_machine
 from repro.core import serialization
@@ -124,8 +126,18 @@ class ResultCache:
     # -- stats ---------------------------------------------------------
 
     def has_stats(self, spec: ExperimentSpec, profile_rate: float) -> bool:
-        """Whether a cell is present on disk (no counters, no decode)."""
-        return self._path("stats", self.stats_key(spec, profile_rate)).exists()
+        """Whether a cell is plausibly present on disk (no counters, no
+        decode).
+
+        An existing but unreadable or zero-length entry (torn write from
+        a killed process) counts as *absent* — otherwise a memo-only
+        cell would never be re-persisted and could never be read back.
+        """
+        path = self._path("stats", self.stats_key(spec, profile_rate))
+        try:
+            return path.stat().st_size > 0
+        except OSError:
+            return False
 
     def get_stats(self, spec: ExperimentSpec, profile_rate: float):
         """Cached :class:`RunStats` for ``spec``, or ``None`` on a miss."""
@@ -184,6 +196,8 @@ class ResultCache:
 
     def _read(self, kind: str, key: str) -> dict | None:
         path = self._path(kind, key)
+        if faults.ACTIVE:
+            faults.check("cache.read", key)
         try:
             text = path.read_text()
         except OSError:
@@ -202,6 +216,8 @@ class ResultCache:
 
     def _write(self, kind: str, key: str, data: dict) -> None:
         path = self._path(kind, key)
+        if faults.ACTIVE:
+            faults.check("cache.write", key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: concurrent writers (parallel engine workers,
         # parallel CLI invocations) each rename a private temp file into
@@ -219,6 +235,30 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if faults.ACTIVE and faults.should_corrupt("cache.write", key):
+            path.write_text("")  # simulate a torn write surviving on disk
+
+    def sweep_stale_tmp(self, older_than: float = 600.0) -> int:
+        """Remove temp files orphaned by killed writers; returns the count.
+
+        A writer that dies between ``mkstemp`` and ``os.replace`` leaves
+        a private ``.<key>-*.tmp`` behind forever.  Anything older than
+        ``older_than`` seconds cannot belong to a live writer (writes
+        take milliseconds) and is reclaimed; younger files are left alone
+        so concurrent runs are never disturbed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        cutoff = time.time() - older_than
+        for tmp in self.root.glob("*/*/.*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     # -- reporting -----------------------------------------------------
 

@@ -18,6 +18,12 @@ evaluation grid are fanned out over a process pool and persisted to a
 content-addressed on-disk cache (default ``./.repro-cache`` or
 ``$REPRO_CACHE_DIR``), so regenerating a figure a second time performs
 zero re-simulations.  A per-run cell/cache summary is printed to stderr.
+
+Fault tolerance: ``--retries N`` retries failing cells, ``--cell-timeout
+SECONDS`` bounds each dispatched cell group, and ``--best-effort`` keeps
+a run alive past permanent cell failures — surviving cells are rendered,
+a per-cell failure table goes to stderr, and the exit code is non-zero
+(3).  The default ``--strict`` aborts with the same table and exit 2.
 """
 
 from __future__ import annotations
@@ -66,6 +72,35 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the persistent result cache",
         )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="extra attempts for a failed grid cell (default 2)",
+        )
+        p.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="deadline per dispatched cell group (parallel runs only; "
+            "default unbounded)",
+        )
+        mode = p.add_mutually_exclusive_group()
+        mode.add_argument(
+            "--strict",
+            dest="strict",
+            action="store_true",
+            default=True,
+            help="abort on any permanently failed cell (default)",
+        )
+        mode.add_argument(
+            "--best-effort",
+            dest="strict",
+            action="store_false",
+            help="keep going on cell failures; report them and exit non-zero",
+        )
 
     sub.add_parser("workloads", help="list available benchmark models")
 
@@ -109,15 +144,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configure_engine(args: argparse.Namespace):
-    """Install the process-wide engine from --jobs/--cache-dir/--no-cache."""
+    """Install the process-wide engine from the --jobs/--cache/--retries
+    option family."""
     from repro.experiments.engine import configure
+    from repro.retry import RetryPolicy
 
+    retry = RetryPolicy(
+        max_attempts=max(0, args.retries) + 1, timeout=args.cell_timeout
+    )
     return configure(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=True,
+        retry=retry,
+        strict=args.strict,
     )
+
+
+def _engine_epilogue(engine) -> int:
+    """Print the engine summary and, in best-effort mode, the per-cell
+    failure table; non-zero when any cell was lost."""
+    print(engine.summary(), file=sys.stderr)
+    if engine.last_failures:
+        print(engine.last_failures.format_table(), file=sys.stderr)
+        return 3
+    return 0
 
 
 def _cmd_workloads() -> int:
@@ -177,14 +229,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scales=(args.scale,),
     )
     runs = {
-        c: results[
+        c: results.get(
             ExperimentSpec(args.workload, args.machine, c, args.input_set, args.scale)
-        ]
+        )
         for c in configs
     }
     base = runs["baseline"]
+    if base is None:
+        # Best-effort run lost the reference cell: nothing to normalise
+        # against, so only the failure table is meaningful.
+        print("error: baseline cell failed; no table to render", file=sys.stderr)
+        return _engine_epilogue(engine) or 3
     rows = []
     for config, stats in runs.items():
+        if stats is None:
+            rows.append((config, "failed", "-", "-", "-"))
+            continue
         rows.append(
             (
                 config,
@@ -201,8 +261,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title=f"{args.workload} on {args.machine} (scale {args.scale})",
         )
     )
-    print(engine.summary(), file=sys.stderr)
-    return 0
+    return _engine_epilogue(engine)
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -258,6 +317,21 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     engine = _configure_engine(args)
+    try:
+        _render_experiment(args)
+    except KeyError as exc:
+        if engine.last_failures:
+            # A best-effort run lost cells this driver needs.
+            print(
+                f"error: incomplete grid after cell failures ({exc})",
+                file=sys.stderr,
+            )
+            return _engine_epilogue(engine) or 3
+        raise
+    return _engine_epilogue(engine)
+
+
+def _render_experiment(args: argparse.Namespace) -> None:
     name = args.name
     scale = args.scale
     if name == "table1":
@@ -310,8 +384,6 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
 
         print(render_combined(run_combined(args.machine, scale=scale)))
-    print(engine.summary(), file=sys.stderr)
-    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -333,6 +405,9 @@ def main(argv: list[str] | None = None) -> int:
         raise AssertionError(f"unhandled command {args.command}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        report = getattr(exc, "report", None)
+        if report:
+            print(report.format_table(), file=sys.stderr)
         return 2
 
 

@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.cachesim.stats import LevelStats, PCStats, RunStats
 from repro.core.report import (
     DelinquentLoad,
@@ -190,6 +191,8 @@ def stats_to_dict(stats: RunStats) -> dict:
 
 def stats_from_dict(data: dict) -> RunStats:
     """Rebuild a :class:`RunStats` from :func:`stats_to_dict` output."""
+    if faults.ACTIVE:
+        faults.check("serialization.decode", data.get("format"))
     if data.get("format") != STATS_FORMAT:
         raise AnalysisError(f"unsupported stats format {data.get('format')!r}")
     return RunStats(
@@ -237,6 +240,8 @@ def sampling_to_dict(sampling: SamplingResult) -> dict:
 
 def sampling_from_dict(data: dict) -> SamplingResult:
     """Rebuild a :class:`SamplingResult` from :func:`sampling_to_dict` output."""
+    if faults.ACTIVE:
+        faults.check("serialization.decode", data.get("format"))
     if data.get("format") != SAMPLING_FORMAT:
         raise AnalysisError(f"unsupported sampling format {data.get('format')!r}")
     reuse = data["reuse"]

@@ -20,6 +20,8 @@ __all__ = [
     "AnalysisError",
     "WorkloadError",
     "ExperimentError",
+    "EngineError",
+    "CellFailure",
 ]
 
 
@@ -61,3 +63,41 @@ class WorkloadError(ReproError, KeyError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment driver could not produce its table or figure."""
+
+
+class EngineError(ExperimentError):
+    """The experiment engine could not resolve part of a batch.
+
+    Raised by a strict-mode :class:`~repro.experiments.engine.ExperimentEngine`
+    when cells fail permanently; ``report`` carries the engine's
+    :class:`~repro.experiments.engine.FailureReport` (or ``None`` when the
+    failure predates per-cell accounting).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class CellFailure(EngineError):
+    """One grid cell failed permanently (retries exhausted or timed out).
+
+    Attributes identify the cell and how it died: ``spec`` (the
+    :class:`~repro.api.ExperimentSpec`), ``attempts`` taken, ``elapsed``
+    seconds of the final attempt, and ``cause`` (the underlying
+    exception, or ``None`` for a timeout).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        spec=None,
+        attempts: int = 0,
+        elapsed: float = 0.0,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.cause = cause

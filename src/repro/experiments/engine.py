@@ -1,4 +1,4 @@
-"""Parallel experiment engine.
+"""Parallel, fault-tolerant experiment engine.
 
 The paper's evaluation is a grid of (workload × machine × config ×
 input-set × scale) cells, and — as PPT-Multicore observes for
@@ -18,10 +18,32 @@ Results are **identical** to a serial run: the compute kernel is
 deterministic and workers return plain :class:`RunStats` that the parent
 installs into the same memo the serial path uses.
 
+Long grids must also *survive partial failure*; the engine degrades
+gracefully instead of discarding a batch:
+
+* failed groups are retried under a :class:`~repro.retry.RetryPolicy`
+  with **bisection** — a failing 8-cell group re-dispatches as two
+  4-cell groups, down to the single poison cell, so one bad spec costs
+  ``O(log n)`` extra dispatches instead of the whole batch;
+* each dispatched group gets a **deadline** (``RetryPolicy.timeout``);
+  a hung worker is abandoned (the pool is replaced) and its group is
+  bisected like any other failure;
+* a ``BrokenProcessPool`` (OOM-killed child, crashed fork) triggers
+  automatic **fallback to in-process serial execution** for everything
+  still outstanding — the engine never re-raises it;
+* in ``strict`` mode (default) permanent failures raise
+  :class:`~repro.errors.EngineError` carrying a :class:`FailureReport`;
+  in best-effort mode (``strict=False``) :meth:`ExperimentEngine.run`
+  returns the surviving cells and leaves the report on
+  :attr:`ExperimentEngine.last_failures`;
+* cache IO errors degrade to misses (recompute), never aborts.
+
 The CLI configures one process-wide default engine via :func:`configure`
-(``--jobs``, ``--cache-dir``, ``--no-cache``); experiment drivers pick
-it up through :func:`current_engine` so library callers that never think
-about engines transparently inherit the CLI's parallelism and cache.
+(``--jobs``, ``--cache-dir``, ``--no-cache``, ``--retries``,
+``--cell-timeout``, ``--best-effort``); experiment drivers pick it up
+through :func:`current_engine` so library callers that never think about
+engines transparently inherit the CLI's parallelism, cache, and fault
+tolerance.
 """
 
 from __future__ import annotations
@@ -29,19 +51,25 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro import faults
 from repro.api import CONFIGS, ExperimentSpec
 from repro.cache import ResultCache, default_cache_dir
 from repro.cachesim.stats import RunStats
+from repro.errors import CellFailure, EngineError
 from repro.experiments import runner
+from repro.retry import RetryPolicy
 
 __all__ = [
     "EngineStats",
     "ExperimentEngine",
+    "FailureReport",
     "configure",
     "current_engine",
     "reset_default_engine",
@@ -63,24 +91,40 @@ class EngineStats:
     """Cumulative accounting of every cell the engine resolved.
 
     ``memo_hits`` were free (already resident in-process), ``disk_hits``
-    cost one JSON read, ``computed`` cost a full simulation.  They always
-    sum to ``cells``.
+    cost one JSON read, ``computed`` cost a full simulation, ``failed``
+    exhausted their retry budget.  The four always sum to ``cells``.
+    ``retries`` counts extra dispatches (re-attempts and bisection
+    splits); ``fallbacks`` counts pool abandonments (broken pool →
+    serial, hung group → fresh pool).
     """
 
     cells: int = 0
     computed: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
+    failed: int = 0
+    retries: int = 0
+    fallbacks: int = 0
     batches: int = 0
     wall_seconds: float = 0.0
 
     def merge_batch(
-        self, computed: int, memo_hits: int, disk_hits: int, wall: float
+        self,
+        computed: int,
+        memo_hits: int,
+        disk_hits: int,
+        wall: float,
+        failed: int = 0,
+        retries: int = 0,
+        fallbacks: int = 0,
     ) -> None:
-        self.cells += computed + memo_hits + disk_hits
+        self.cells += computed + memo_hits + disk_hits + failed
         self.computed += computed
         self.memo_hits += memo_hits
         self.disk_hits += disk_hits
+        self.failed += failed
+        self.retries += retries
+        self.fallbacks += fallbacks
         self.batches += 1
         self.wall_seconds += wall
 
@@ -94,10 +138,60 @@ class EngineStats:
             f"{jobs} job{'s' if jobs != 1 else ''}",
             f"{self.wall_seconds:.2f}s",
         ]
+        if self.failed:
+            parts.insert(4, f"{self.failed} failed")
+        if self.retries:
+            parts.insert(-2, f"{self.retries} retries")
         line = "engine: " + " | ".join(parts)
         if cache is not None:
             line += f"\n{cache.describe()}"
         return line
+
+
+@dataclass
+class FailureReport:
+    """Structured account of every cell a batch lost permanently.
+
+    ``failures`` holds one :class:`~repro.errors.CellFailure` per poison
+    cell (spec, attempts, elapsed, cause); ``fallbacks`` counts pool
+    abandonments the batch survived.  Truthy iff any cell failed.
+    """
+
+    failures: list[CellFailure] = field(default_factory=list)
+    fallbacks: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def add(self, failure: CellFailure) -> None:
+        self.failures.append(failure)
+
+    def specs(self) -> list[ExperimentSpec]:
+        """The poisoned specs, in failure order."""
+        return [f.spec for f in self.failures]
+
+    def format_table(self) -> str:
+        """Per-cell failure table (the CLI prints this to stderr)."""
+        from repro.experiments.tables import render_table
+
+        rows = [
+            (
+                f.spec.label() if f.spec is not None else "?",
+                f.attempts,
+                f"{f.elapsed:.2f}s",
+                type(f.cause).__name__ if f.cause is not None else "Timeout",
+                str(f.cause) if f.cause is not None else str(f),
+            )
+            for f in self.failures
+        ]
+        return render_table(
+            ("cell", "attempts", "elapsed", "error", "detail"),
+            rows,
+            title=f"{len(self.failures)} cell(s) failed permanently",
+        )
 
 
 @dataclass
@@ -109,7 +203,17 @@ class _Batch:
     computed: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
+    retries: int = 0
     started: float = field(default_factory=time.perf_counter)
+
+
+@dataclass
+class _Task:
+    """One dispatched unit of work: a group of cells plus retry state."""
+
+    specs: tuple[ExperimentSpec, ...]
+    attempt: int = 1
+    started: float = 0.0
 
 
 def _compute_group(specs: tuple[ExperimentSpec, ...]) -> list[tuple[ExperimentSpec, RunStats]]:
@@ -118,6 +222,7 @@ def _compute_group(specs: tuple[ExperimentSpec, ...]) -> list[tuple[ExperimentSp
     Runs in a separate process; ``runner``'s in-process caches make the
     shared profiling pass and plans compute once per group.
     """
+    faults.mark_worker()
     return [(spec, runner.compute_run(spec)) for spec in specs]
 
 
@@ -138,8 +243,17 @@ class ExperimentEngine:
     progress:
         Per-cell progress reporting: ``True`` prints one line per cell to
         stderr, a callable receives ``(done, total, spec, source)`` with
-        ``source`` in {"memo", "disk", "computed"}; ``None``/``False``
-        disables reporting.
+        ``source`` in {"memo", "disk", "computed", "failed"};
+        ``None``/``False`` disables reporting.
+    retry:
+        :class:`~repro.retry.RetryPolicy` bounding per-cell attempts,
+        backoff, and the per-group deadline.  ``None`` uses the policy's
+        defaults (3 attempts, no deadline).
+    strict:
+        ``True`` (default): permanent cell failures raise
+        :class:`~repro.errors.EngineError` carrying the
+        :class:`FailureReport`.  ``False``: :meth:`run` returns the
+        surviving cells and leaves the report on :attr:`last_failures`.
     """
 
     def __init__(
@@ -148,13 +262,22 @@ class ExperimentEngine:
         cache_dir: str | Path | None = None,
         use_cache: bool = False,
         progress: bool | Callable[[int, int, ExperimentSpec, str], None] | None = None,
+        retry: RetryPolicy | None = None,
+        strict: bool = True,
     ) -> None:
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache: ResultCache | None = None
         if use_cache:
             self.cache = ResultCache(cache_dir or default_cache_dir())
+            # Reclaim temp files orphaned by killed writers of past runs.
+            self.cache.sweep_stale_tmp()
         self.progress = progress
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.strict = strict
         self.stats = EngineStats()
+        #: FailureReport of the most recent :meth:`run` (empty when the
+        #: batch was clean).
+        self.last_failures = FailureReport()
 
     # -- public API ----------------------------------------------------
 
@@ -165,11 +288,34 @@ class ExperimentEngine:
 
         Returns a mapping from each distinct requested spec to its
         :class:`RunStats`; results are bit-identical to calling
-        :func:`repro.experiments.runner.run_spec` serially.
+        :func:`repro.experiments.runner.run_spec` serially.  In strict
+        mode permanent cell failures raise
+        :class:`~repro.errors.EngineError`; in best-effort mode failed
+        cells are simply absent from the mapping and described by
+        :attr:`last_failures`.
+        """
+        results, report = self.run_with_report(specs)
+        if report and self.strict:
+            raise EngineError(
+                f"{len(report)} of {len(results) + len(report)} cells failed "
+                "permanently",
+                report=report,
+            )
+        return results
+
+    def run_with_report(
+        self, specs: Iterable[ExperimentSpec]
+    ) -> tuple[dict[ExperimentSpec, RunStats], FailureReport]:
+        """Resolve every cell; never raises for per-cell failures.
+
+        Returns ``(results, report)``: the surviving cells and the
+        structured account of permanent failures (empty when clean).
         """
         ordered = list(dict.fromkeys(specs))
         batch = _Batch(total=len(ordered))
         results: dict[ExperimentSpec, RunStats] = {}
+        report = FailureReport()
+        self.last_failures = report
         cold: list[ExperimentSpec] = []
 
         previous_cache = runner.set_cache(self.cache)
@@ -180,15 +326,13 @@ class ExperimentEngine:
                     results[spec] = stats
                     # A cell computed before the cache was active may be
                     # memo-only; make sure it reaches disk too.
-                    if self.cache is not None and not self.cache.has_stats(
-                        spec, runner.PROFILE_RATE
-                    ):
-                        self.cache.put_stats(spec, runner.PROFILE_RATE, stats)
+                    if self.cache is not None and not self._cache_has(spec):
+                        self._cache_put(spec, stats)
                     batch.memo_hits += 1
                     self._report(batch, spec, "memo")
                     continue
                 if self.cache is not None:
-                    stats = self.cache.get_stats(spec, runner.PROFILE_RATE)
+                    stats = self._cache_get(spec)
                     if stats is not None:
                         runner.seed_memo(spec, stats)
                         results[spec] = stats
@@ -198,21 +342,22 @@ class ExperimentEngine:
                 cold.append(spec)
 
             if cold:
-                if self.jobs > 1:
-                    self._run_parallel(cold, results, batch)
-                else:
-                    for spec in cold:
-                        results[spec] = runner.run_spec(spec)
-                        batch.computed += 1
-                        self._report(batch, spec, "computed")
+                self._run_cold(cold, results, batch, report)
         finally:
+            # Account the batch even when resolution raises mid-way, so
+            # partial batches still appear in summary().
             runner.set_cache(previous_cache)
-
-        wall = time.perf_counter() - batch.started
-        self.stats.merge_batch(
-            batch.computed, batch.memo_hits, batch.disk_hits, wall
-        )
-        return results
+            wall = time.perf_counter() - batch.started
+            self.stats.merge_batch(
+                batch.computed,
+                batch.memo_hits,
+                batch.disk_hits,
+                wall,
+                failed=len(report),
+                retries=batch.retries,
+                fallbacks=report.fallbacks,
+            )
+        return results, report
 
     def run_grid(
         self,
@@ -231,40 +376,233 @@ class ExperimentEngine:
         """Cumulative cell/cache accounting across every batch so far."""
         return self.stats.format(jobs=self.jobs, cache=self.cache)
 
+    # -- cache guards ---------------------------------------------------
+
+    # The persistent cache is an optimisation; IO trouble (corrupt entry,
+    # full disk, injected fault) must degrade to a miss or a skipped
+    # store, never abort a batch.
+
+    def _cache_get(self, spec: ExperimentSpec) -> RunStats | None:
+        try:
+            return self.cache.get_stats(spec, runner.PROFILE_RATE)
+        except Exception:
+            return None
+
+    def _cache_has(self, spec: ExperimentSpec) -> bool:
+        try:
+            return self.cache.has_stats(spec, runner.PROFILE_RATE)
+        except Exception:
+            return True  # don't try to re-persist through a failing cache
+
+    def _cache_put(self, spec: ExperimentSpec, stats: RunStats) -> None:
+        try:
+            self.cache.put_stats(spec, runner.PROFILE_RATE, stats)
+        except Exception:
+            pass
+
     # -- internals -----------------------------------------------------
 
-    def _run_parallel(
+    def _run_cold(
         self,
         cold: list[ExperimentSpec],
         results: dict[ExperimentSpec, RunStats],
         batch: _Batch,
+        report: FailureReport,
     ) -> None:
-        """Fan profile-sharing groups of cold cells out over processes."""
+        """Compute the cells no cache could serve, tolerating failures."""
         groups: dict[tuple, list[ExperimentSpec]] = {}
         for spec in cold:
             groups.setdefault(spec.profile_key, []).append(spec)
         group_list = [tuple(g) for g in groups.values()]
 
-        if len(group_list) == 1:
+        if self.jobs > 1 and len(group_list) > 1:
+            self._run_parallel(group_list, results, batch, report)
+        else:
             # One profile group gains nothing from a pool (the group is
             # the unit of dispatch); avoid the fork + pickle overhead.
-            for spec in group_list[0]:
-                results[spec] = runner.run_spec(spec)
+            for group in group_list:
+                self._run_serial_group(group, results, batch, report)
+
+    def _run_serial_group(
+        self,
+        specs: Sequence[ExperimentSpec],
+        results: dict[ExperimentSpec, RunStats],
+        batch: _Batch,
+        report: FailureReport,
+    ) -> None:
+        """In-process execution with per-cell retries (no group ambiguity,
+        so failures need no bisection; deadlines cannot be enforced)."""
+        for spec in specs:
+            attempt = 0
+            while True:
+                attempt += 1
+                started = time.perf_counter()
+                try:
+                    stats = runner.run_spec(spec)
+                except Exception as exc:
+                    elapsed = time.perf_counter() - started
+                    if self.retry.retriable(attempt):
+                        batch.retries += 1
+                        _sleep(self.retry.delay(attempt, spec.label()))
+                        continue
+                    report.add(
+                        CellFailure(
+                            f"cell {spec.label()} failed after {attempt} "
+                            f"attempt(s): {exc}",
+                            spec=spec,
+                            attempts=attempt,
+                            elapsed=elapsed,
+                            cause=exc,
+                        )
+                    )
+                    self._report(batch, spec, "failed")
+                    break
+                results[spec] = stats
                 batch.computed += 1
                 self._report(batch, spec, "computed")
-            return
+                break
 
+    def _run_parallel(
+        self,
+        group_list: list[tuple[ExperimentSpec, ...]],
+        results: dict[ExperimentSpec, RunStats],
+        batch: _Batch,
+        report: FailureReport,
+    ) -> None:
+        """Fan profile-sharing groups out over processes, with deadlines,
+        retry-by-bisection, and serial fallback on a broken pool."""
         workers = min(self.jobs, len(group_list))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_compute_group, g) for g in group_list}
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    for spec, stats in future.result():
-                        runner.seed_memo(spec, stats, persist=True)
-                        results[spec] = stats
-                        batch.computed += 1
-                        self._report(batch, spec, "computed")
+        queue: deque[_Task] = deque(_Task(g) for g in group_list)
+        pending: dict[Future, _Task] = {}
+        pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=workers)
+        deadline = self.retry.timeout
+        try:
+            while queue or pending:
+                while queue and pool is not None:
+                    task = queue.popleft()
+                    task.started = time.perf_counter()
+                    pending[pool.submit(_compute_group, task.specs)] = task
+
+                wait_timeout = None
+                if deadline is not None and pending:
+                    now = time.perf_counter()
+                    earliest = min(t.started + deadline for t in pending.values())
+                    wait_timeout = max(0.0, earliest - now)
+                done, _ = wait(
+                    set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                if not done:
+                    pool = self._expire_hung_groups(
+                        pool, pending, queue, batch, report, workers
+                    )
+                    continue
+
+                broken = False
+                for future in done:
+                    task = pending.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        queue.append(task)
+                    except Exception as exc:
+                        self._bisect_or_fail(task, exc, queue, batch, report)
+                    else:
+                        for spec, stats in payload:
+                            runner.seed_memo(spec, stats, persist=True)
+                            results[spec] = stats
+                            batch.computed += 1
+                            self._report(batch, spec, "computed")
+
+                if broken:
+                    # The pool is unusable and every in-flight future is
+                    # lost with it; finish everything outstanding
+                    # in-process instead of aborting the batch.
+                    report.fallbacks += 1
+                    queue.extend(pending.values())
+                    pending.clear()
+                    _abandon_pool(pool)
+                    pool = None
+                    while queue:
+                        self._run_serial_group(
+                            queue.popleft().specs, results, batch, report
+                        )
+        finally:
+            if pool is not None:
+                if pending:
+                    # An exception escaped with work in flight (possibly
+                    # hung); don't block on it.
+                    _abandon_pool(pool)
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
+
+    def _expire_hung_groups(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: dict[Future, _Task],
+        queue: deque[_Task],
+        batch: _Batch,
+        report: FailureReport,
+        workers: int,
+    ) -> ProcessPoolExecutor:
+        """Handle a deadline expiry: abandon the pool (hung workers can't
+        be interrupted), bisect the expired groups, requeue the rest."""
+        deadline = self.retry.timeout
+        now = time.perf_counter()
+        expired = [t for t in pending.values() if now - t.started >= deadline]
+        if not expired:
+            return pool  # spurious wake-up; deadlines recomputed next loop
+        survivors = [t for t in pending.values() if now - t.started < deadline]
+        pending.clear()
+        report.fallbacks += 1
+        _abandon_pool(pool)
+        # Innocent in-flight groups lost with the pool rerun at the same
+        # attempt; the expired ones count a failed attempt.
+        queue.extend(survivors)
+        for task in expired:
+            timeout_exc = TimeoutError(
+                f"group of {len(task.specs)} cell(s) exceeded the "
+                f"{deadline:g}s deadline"
+            )
+            self._bisect_or_fail(task, timeout_exc, queue, batch, report)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _bisect_or_fail(
+        self,
+        task: _Task,
+        exc: BaseException,
+        queue: deque[_Task],
+        batch: _Batch,
+        report: FailureReport,
+    ) -> None:
+        """Retry a failed group: split multi-cell groups to isolate the
+        poison cell, re-attempt singles up to the retry budget."""
+        specs = task.specs
+        if len(specs) > 1:
+            mid = len(specs) // 2
+            batch.retries += 1
+            queue.append(_Task(specs[:mid], attempt=task.attempt))
+            queue.append(_Task(specs[mid:], attempt=task.attempt))
+            return
+        spec = specs[0]
+        elapsed = time.perf_counter() - task.started if task.started else 0.0
+        if self.retry.retriable(task.attempt):
+            batch.retries += 1
+            _sleep(self.retry.delay(task.attempt, spec.label()))
+            queue.append(_Task(specs, attempt=task.attempt + 1))
+            return
+        report.add(
+            CellFailure(
+                f"cell {spec.label()} failed after {task.attempt} "
+                f"attempt(s): {exc}",
+                spec=spec,
+                attempts=task.attempt,
+                elapsed=elapsed,
+                cause=None if isinstance(exc, TimeoutError) else exc,
+            )
+        )
+        self._report(batch, spec, "failed")
 
     def _report(self, batch: _Batch, spec: ExperimentSpec, source: str) -> None:
         batch.done += 1
@@ -279,6 +617,30 @@ class ExperimentEngine:
         )
 
 
+def _sleep(seconds: float) -> None:
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a (possibly hung or broken) pool down without waiting.
+
+    Hung workers cannot be interrupted cooperatively, so after the
+    non-blocking shutdown their processes are terminated best-effort —
+    otherwise an abandoned sleeper would delay interpreter exit.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
 # -- process-wide default engine ---------------------------------------
 
 _DEFAULT_ENGINE: ExperimentEngine | None = None
@@ -289,16 +651,24 @@ def configure(
     cache_dir: str | Path | None = None,
     use_cache: bool = False,
     progress: bool | Callable[[int, int, ExperimentSpec, str], None] | None = None,
+    retry: RetryPolicy | None = None,
+    strict: bool = True,
 ) -> ExperimentEngine:
     """Install and return the process-wide default engine.
 
-    Called by the CLI (from ``--jobs`` / ``--cache-dir`` / ``--no-cache``)
-    and by the benchmark harness; experiment drivers reach it through
+    Called by the CLI (from ``--jobs`` / ``--cache-dir`` / ``--no-cache``
+    / ``--retries`` / ``--cell-timeout`` / ``--best-effort``) and by the
+    benchmark harness; experiment drivers reach it through
     :func:`current_engine`.
     """
     global _DEFAULT_ENGINE
     _DEFAULT_ENGINE = ExperimentEngine(
-        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+        retry=retry,
+        strict=strict,
     )
     return _DEFAULT_ENGINE
 

@@ -29,6 +29,7 @@ import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import faults
 from repro.api import CONFIGS, PLAN_KINDS, ExperimentSpec
 from repro.baselines.stride_centric import stride_centric_plan
 from repro.cache import ResultCache
@@ -98,6 +99,29 @@ def get_cache() -> ResultCache | None:
     return _CACHE
 
 
+# The persistent cache is an optimisation: IO trouble (corrupt entry,
+# full disk, injected fault) must degrade to a miss or a skipped store,
+# never fail a cell whose computation is fine.
+
+
+def _cache_get_stats(spec: ExperimentSpec):
+    if _CACHE is None:
+        return None
+    try:
+        return _CACHE.get_stats(spec, PROFILE_RATE)
+    except Exception:
+        return None
+
+
+def _cache_put_stats(spec: ExperimentSpec, stats: RunStats) -> None:
+    if _CACHE is None:
+        return
+    try:
+        _CACHE.put_stats(spec, PROFILE_RATE, stats)
+    except Exception:
+        pass
+
+
 @dataclass(frozen=True)
 class WorkloadProfile:
     """Everything derived from one profiling pass of one workload."""
@@ -129,12 +153,20 @@ def _profile(name: str, input_set: str, scale: float, rate: float) -> WorkloadPr
     program = build_program(name, input_set, scale)
     seed = workload_seed(name, input_set)
     execution = execute_program(program, seed=seed)
-    sampling = _CACHE.get_sampling(name, input_set, scale, rate) if _CACHE else None
+    sampling = None
+    if _CACHE is not None:
+        try:
+            sampling = _CACHE.get_sampling(name, input_set, scale, rate)
+        except Exception:
+            sampling = None
     if sampling is None:
         sampler = RuntimeSampler(rate=rate, seed=seed & 0xFFFF_FFFF)
         sampling = sampler.sample(execution.trace)
         if _CACHE is not None:
-            _CACHE.put_sampling(name, input_set, scale, rate, sampling)
+            try:
+                _CACHE.put_sampling(name, input_set, scale, rate, sampling)
+            except Exception:
+                pass
     return WorkloadProfile(program, execution, sampling)
 
 
@@ -187,6 +219,8 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
     This is the pure deterministic compute kernel the engine's worker
     processes call; everything else layers caching on top of it.
     """
+    if faults.ACTIVE:
+        faults.check("worker.compute", spec)
     machine = get_machine(spec.machine)
     profile = profile_for_spec(spec)
 
@@ -224,23 +258,21 @@ def run_spec(spec: ExperimentSpec) -> RunStats:
     cached = _MEMO.get(spec)
     if cached is not None:
         return cached
-    if _CACHE is not None:
-        stats = _CACHE.get_stats(spec, PROFILE_RATE)
-        if stats is not None:
-            _MEMO[spec] = stats
-            return stats
+    stats = _cache_get_stats(spec)
+    if stats is not None:
+        _MEMO[spec] = stats
+        return stats
     stats = compute_run(spec)
     _MEMO[spec] = stats
-    if _CACHE is not None:
-        _CACHE.put_stats(spec, PROFILE_RATE, stats)
+    _cache_put_stats(spec, stats)
     return stats
 
 
 def seed_memo(spec: ExperimentSpec, stats: RunStats, persist: bool = False) -> None:
     """Install an externally computed result (engine workers, disk loads)."""
     _MEMO[spec] = stats
-    if persist and _CACHE is not None:
-        _CACHE.put_stats(spec, PROFILE_RATE, stats)
+    if persist:
+        _cache_put_stats(spec, stats)
 
 
 def memo_contains(spec: ExperimentSpec) -> bool:

@@ -1,0 +1,189 @@
+"""Deterministic fault-injection registry (test-only).
+
+The fault-tolerance layer of the experiment engine — retries, poison-cell
+bisection, process-pool fallback, cache hardening — is only trustworthy
+if its failure paths are *exercised*, and real failures (OOM-killed
+workers, torn cache writes, hung simulations) are neither deterministic
+nor cheap to provoke.  This registry lets tests arm artificial failures
+at named **sites** in the pipeline and have them fire deterministically:
+
+* ``"worker.compute"`` — start of :func:`repro.experiments.runner.compute_run`
+  (fires in pool workers and on the serial path alike);
+* ``"cache.read"`` / ``"cache.write"`` — :class:`repro.cache.ResultCache`
+  file IO;
+* ``"serialization.decode"`` — stats/sampling codec entry points.
+
+Four fault **kinds** model the real-world failure modes:
+
+* ``"raise"`` — raise :class:`InjectedFault` (a crashed simulation);
+* ``"hang"`` — sleep ``hang_seconds`` (a stuck worker, for timeout tests);
+* ``"corrupt"`` — ask the site to corrupt its bytes (a torn write; only
+  sites that own bytes honour it, via :func:`should_corrupt`);
+* ``"kill"`` — ``os._exit`` the process (an OOM-killed worker; fires
+  **only** inside pool workers, see :func:`mark_worker`, so a serial
+  fallback in the parent survives).
+
+Zero overhead when disarmed: instrumented sites guard every call with
+``if faults.ACTIVE:`` — a single module-attribute truth test — and
+:data:`ACTIVE` is only true while at least one fault is armed.  Armed
+faults propagate to pool workers through ``fork`` (the default start
+method on Linux); ``times`` counters therefore track per-process.
+
+Determinism: ``match`` predicates select victims by subject (e.g. an
+:class:`~repro.api.ExperimentSpec`), and :func:`match_fraction` derives a
+stable pseudo-random subset from a SHA-256 of the subject — the same
+seed always poisons the same cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ACTIVE",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "arm",
+    "armed_sites",
+    "check",
+    "disarm",
+    "in_worker",
+    "mark_worker",
+    "match_fraction",
+    "should_corrupt",
+]
+
+#: Fast-path guard read by instrumented sites (``if faults.ACTIVE: ...``).
+#: True exactly while at least one fault is armed.
+ACTIVE = False
+
+FAULT_KINDS = ("raise", "hang", "corrupt", "kill")
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """An artificial failure raised by the fault-injection registry."""
+
+
+@dataclass
+class _Fault:
+    site: str
+    kind: str
+    match: Callable[[object], bool] | None = None
+    times: int | None = None
+    hang_seconds: float = 2.0
+    fired: int = 0
+
+    def applies(self, subject: object) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.match is not None and not self.match(subject):
+            return False
+        return True
+
+
+_FAULTS: dict[str, list[_Fault]] = {}
+
+#: Set in pool workers (see ``engine._compute_group``) so ``"kill"``
+#: faults never take down the parent process.
+_IN_WORKER = False
+
+
+def mark_worker() -> None:
+    """Declare this process a pool worker (enables ``"kill"`` faults)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """Whether this process has been marked as a pool worker."""
+    return _IN_WORKER
+
+
+def arm(
+    site: str,
+    kind: str = "raise",
+    match: Callable[[object], bool] | None = None,
+    times: int | None = None,
+    hang_seconds: float = 2.0,
+) -> None:
+    """Arm one fault at ``site``.
+
+    ``times`` limits how often it fires (per process); ``match`` limits
+    which subjects trigger it; ``hang_seconds`` sizes ``"hang"`` faults.
+    """
+    global ACTIVE
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}; valid: {FAULT_KINDS}")
+    _FAULTS.setdefault(site, []).append(
+        _Fault(site, kind, match=match, times=times, hang_seconds=hang_seconds)
+    )
+    ACTIVE = True
+
+
+def disarm(site: str | None = None) -> None:
+    """Disarm every fault at ``site``, or everywhere with ``None``."""
+    global ACTIVE
+    if site is None:
+        _FAULTS.clear()
+    else:
+        _FAULTS.pop(site, None)
+    ACTIVE = bool(_FAULTS)
+
+
+def armed_sites() -> tuple[str, ...]:
+    """The sites that currently have at least one fault armed."""
+    return tuple(sorted(_FAULTS))
+
+
+def check(site: str, subject: object = None) -> None:
+    """Fire any armed ``raise``/``hang``/``kill`` fault at ``site``.
+
+    Instrumented sites call this behind an ``if faults.ACTIVE:`` guard.
+    ``corrupt`` faults are skipped here — sites that own bytes poll
+    :func:`should_corrupt` instead.
+    """
+    for fault in _FAULTS.get(site, ()):
+        if fault.kind == "corrupt" or not fault.applies(subject):
+            continue
+        if fault.kind == "kill" and not _IN_WORKER:
+            continue
+        fault.fired += 1
+        if fault.kind == "raise":
+            raise InjectedFault(f"injected fault at {site} for {subject!r}")
+        if fault.kind == "hang":
+            time.sleep(fault.hang_seconds)
+        elif fault.kind == "kill":
+            os._exit(86)
+
+
+def should_corrupt(site: str, subject: object = None) -> bool:
+    """Whether an armed ``corrupt`` fault elects this subject at ``site``."""
+    for fault in _FAULTS.get(site, ()):
+        if fault.kind == "corrupt" and fault.applies(subject):
+            fault.fired += 1
+            return True
+    return False
+
+
+def match_fraction(
+    fraction: float, seed: int = 0
+) -> Callable[[object], bool]:
+    """Deterministic predicate electing ≈``fraction`` of all subjects.
+
+    The choice hashes ``(seed, repr(subject))``, so a given seed always
+    poisons the same cells — across processes and across runs.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+
+    def _match(subject: object) -> bool:
+        digest = hashlib.sha256(f"{seed}:{subject!r}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < fraction
+
+    return _match

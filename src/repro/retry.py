@@ -1,0 +1,87 @@
+"""Retry policy for the fault-tolerant experiment engine.
+
+A :class:`RetryPolicy` bounds how hard the engine fights for each grid
+cell: how many attempts a failing cell gets, how long to back off
+between attempts, and how long one dispatched group of cells may run
+before it is declared hung (pooled execution only — a hung in-process
+computation cannot be interrupted).
+
+Backoff is **seeded and deterministic**: the jitter for a given
+``(seed, attempt, token)`` triple is a pure function (SHA-256 derived),
+so two runs of the same grid under the same policy retry on the same
+schedule.  That keeps fault-injection tests reproducible and makes the
+engine's behaviour under failure as replayable as its results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries failing cells and bounds hung groups.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per cell (1 = no retries).
+    base_delay:
+        Backoff before the second attempt, in seconds; doubles each
+        further attempt.  ``0`` disables sleeping (tests).
+    max_delay:
+        Ceiling on the exponential backoff.
+    jitter:
+        Fraction of the base backoff added as deterministic jitter in
+        ``[0, jitter)`` — de-synchronises retries without randomness.
+    seed:
+        Seed for the deterministic jitter.
+    timeout:
+        Deadline in seconds for one dispatched group of cells (``None``
+        = unbounded).  Enforced only for pool execution, where a hung
+        worker can be abandoned; the serial path cannot interrupt a
+        computation.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be a positive integer, got {self.max_attempts!r}"
+            )
+        for name in ("base_delay", "max_delay", "jitter"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0 or not math.isfinite(value):
+                raise ConfigError(f"{name} must be a non-negative number, got {value!r}")
+        if self.timeout is not None and (
+            not isinstance(self.timeout, (int, float)) or self.timeout <= 0
+        ):
+            raise ConfigError(f"timeout must be positive or None, got {self.timeout!r}")
+
+    def retriable(self, attempt: int) -> bool:
+        """Whether a cell that just failed its ``attempt``-th try gets another."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff in seconds before attempt ``attempt + 1``.
+
+        Exponential in ``attempt`` (1-based), capped at ``max_delay``,
+        plus deterministic jitter derived from ``(seed, attempt, token)``
+        — pass the cell label as ``token`` so different cells de-sync.
+        """
+        base = min(self.max_delay, self.base_delay * 2 ** (attempt - 1))
+        digest = hashlib.sha256(f"{self.seed}:{attempt}:{token}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter * fraction)

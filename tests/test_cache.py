@@ -171,6 +171,42 @@ class TestResultCache:
         path.write_text(json.dumps({"format": "repro-stats-v999"}))
         assert cache.get_stats(SPEC, PROFILE_RATE) is None
 
+    def test_zero_length_entry_is_absent(self, tmp_path):
+        """A torn write must not satisfy has_stats — otherwise a
+        memo-only cell is never re-persisted and can never be read."""
+        cache = ResultCache(tmp_path)
+        cache.put_stats(SPEC, PROFILE_RATE, compute_run(SPEC))
+        assert cache.has_stats(SPEC, PROFILE_RATE)
+        path = cache._path("stats", cache.stats_key(SPEC, PROFILE_RATE))
+        path.write_text("")
+        assert not cache.has_stats(SPEC, PROFILE_RATE)
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None
+        assert not path.exists()  # dropped like any corrupt entry
+
+    def test_missing_entry_not_present(self, tmp_path):
+        assert not ResultCache(tmp_path).has_stats(SPEC, PROFILE_RATE)
+
+    def test_sweep_stale_tmp_reclaims_orphans(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        cache.put_stats(SPEC, PROFILE_RATE, compute_run(SPEC))
+        bucket = cache._path("stats", cache.stats_key(SPEC, PROFILE_RATE)).parent
+        stale = bucket / ".deadbeef-orphan.tmp"
+        fresh = bucket / ".cafebabe-live.tmp"
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        assert cache.sweep_stale_tmp(older_than=600) == 1
+        assert not stale.exists()
+        assert fresh.exists()  # possibly a live concurrent writer
+        assert cache.get_stats(SPEC, PROFILE_RATE) is not None  # untouched
+
+    def test_sweep_on_missing_root_is_noop(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").sweep_stale_tmp() == 0
+
     def test_counters_summary(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.get_stats(SPEC, PROFILE_RATE)

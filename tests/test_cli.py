@@ -26,6 +26,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            [
+                "simulate", "mcf", "--retries", "4",
+                "--cell-timeout", "30", "--best-effort",
+            ]
+        )
+        assert args.retries == 4
+        assert args.cell_timeout == 30.0
+        assert args.strict is False
+
+    def test_strict_is_default_and_exclusive(self):
+        assert build_parser().parse_args(["simulate", "mcf"]).strict is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "mcf", "--strict", "--best-effort"])
+
 
 class TestCommands:
     def test_workloads(self, capsys):
@@ -73,3 +89,65 @@ class TestCommands:
         assert main(["characterize", "cigar", "--scale", "0.05"]) == 0
         out = capsys.readouterr().out
         assert "footprint" in out and "per-instruction" in out
+
+
+class TestFaultToleranceCli:
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        from repro import faults
+        from repro.experiments import runner
+
+        faults.disarm()
+        runner.clear_memo()
+        yield
+        faults.disarm()
+
+    def _poison(self, config):
+        from repro import faults
+
+        faults.arm(
+            "worker.compute",
+            "raise",
+            match=lambda s: getattr(s, "config", None) == config,
+        )
+
+    def test_best_effort_renders_survivors_and_exits_3(self, capsys):
+        self._poison("swnt")
+        code = main(
+            [
+                "simulate", "omnetpp", "--scale", "0.05",
+                "--configs", "hw,swnt", "--no-cache",
+                "--best-effort", "--retries", "0",
+            ]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "baseline" in captured.out and "failed" in captured.out
+        assert "cell(s) failed permanently" in captured.err
+        assert "swnt" in captured.err
+
+    def test_strict_failure_exits_2_with_table(self, capsys):
+        self._poison("hw")
+        code = main(
+            [
+                "simulate", "omnetpp", "--scale", "0.05",
+                "--configs", "hw", "--no-cache", "--retries", "0",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "cell(s) failed permanently" in err
+
+    def test_best_effort_lost_baseline_exits_3(self, capsys):
+        self._poison("baseline")
+        code = main(
+            [
+                "simulate", "omnetpp", "--scale", "0.05",
+                "--configs", "hw", "--no-cache",
+                "--best-effort", "--retries", "0",
+            ]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "baseline cell failed" in err

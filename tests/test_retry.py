@@ -1,0 +1,60 @@
+"""Tests for the engine's retry policy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.retry import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+        assert policy.timeout is None
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout=0.0)
+        assert RetryPolicy(timeout=5.0).timeout == 5.0
+
+
+class TestRetriable:
+    def test_budget_counts_total_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.retriable(1)
+        assert policy.retriable(2)
+        assert not policy.retriable(3)
+
+    def test_single_attempt_never_retries(self):
+        assert not RetryPolicy(max_attempts=1).retriable(1)
+
+
+class TestBackoff:
+    def test_deterministic_for_same_inputs(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert a.delay(2, "mcf/amd/hw@0.3") == b.delay(2, "mcf/amd/hw@0.3")
+
+    def test_jitter_varies_by_token_and_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay(1, "cell-a") != policy.delay(1, "cell-b")
+        assert RetryPolicy(seed=1).delay(1, "x") != RetryPolicy(seed=2).delay(1, "x")
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == pytest.approx(0.4)  # capped
+
+    def test_zero_base_delay_never_sleeps(self):
+        policy = RetryPolicy(base_delay=0.0)
+        assert policy.delay(5, "anything") == 0.0
