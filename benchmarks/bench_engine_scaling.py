@@ -24,7 +24,7 @@ import time
 from conftest import save_artifact
 
 from repro.experiments import runner
-from repro.experiments.engine import ExperimentEngine
+from repro.api import ExperimentEngine
 from repro.experiments.tables import render_table
 
 WORKLOADS = ("libquantum", "mcf", "lbm", "soplex")

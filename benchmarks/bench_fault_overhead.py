@@ -25,7 +25,7 @@ from conftest import save_artifact
 from repro import faults
 from repro.api import ExperimentSpec
 from repro.experiments import runner
-from repro.experiments.engine import ExperimentEngine
+from repro.api import ExperimentEngine
 from repro.experiments.tables import render_table
 from repro.retry import RetryPolicy
 

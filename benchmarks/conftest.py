@@ -27,7 +27,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session", autouse=True)
 def bench_engine():
     """Install the benchmark harness's process-wide experiment engine."""
-    from repro.experiments.engine import configure, reset_default_engine
+    from repro.api import configure, reset_default_engine
 
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
     use_cache = os.environ.get("REPRO_BENCH_CACHE", "0") == "1"

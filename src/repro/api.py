@@ -51,6 +51,13 @@ __all__ = [
     "plan",
     "run",
     "run_many",
+    "configure",
+    "current_engine",
+    "reset_default_engine",
+    "ExperimentEngine",
+    "EngineStats",
+    "FailureReport",
+    "RetryPolicy",
 ]
 
 #: The four prefetching configurations of Figs. 4–6, plus the baseline
@@ -196,6 +203,76 @@ def run_many(
     engine: "ExperimentEngine | None" = None,
 ) -> dict[ExperimentSpec, "RunStats"]:
     """Run many cells through the (possibly parallel) experiment engine."""
-    from repro.experiments.engine import current_engine
-
     return (engine or current_engine()).run(specs)
+
+
+# -- engine surface ------------------------------------------------------
+#
+# Drivers, benchmarks and the CLI configure and fetch the process-wide
+# engine through here so they never import repro.experiments.engine
+# directly; the engine module stays an implementation detail.
+
+
+def configure(
+    jobs=None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
+    retry=None,
+    strict: bool = True,
+    trace: bool = False,
+    deterministic_trace: bool = False,
+) -> "ExperimentEngine":
+    """Install and return the process-wide default engine.
+
+    Parameters mirror :class:`ExperimentEngine`, plus observability:
+
+    trace:
+        Enable the tracing/metrics layer (:mod:`repro.obs`) for this
+        process *and* the engine's worker processes.  Spans and metric
+        snapshots recorded by workers are shipped back and merged into
+        the parent's tracer/registry.
+    deterministic_trace:
+        Use the virtual clock so exported traces are byte-stable across
+        runs (implies ``trace``).
+    """
+    from repro import obs
+    from repro.experiments import engine as _engine
+
+    if trace or deterministic_trace:
+        obs.enable(deterministic=deterministic_trace)
+    return _engine.configure(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+        retry=retry,
+        strict=strict,
+    )
+
+
+def current_engine() -> "ExperimentEngine":
+    """The default engine, creating a serial, cache-less one on demand."""
+    from repro.experiments import engine as _engine
+
+    return _engine.current_engine()
+
+
+def reset_default_engine() -> None:
+    """Forget the default engine (tests and benchmark harness hygiene)."""
+    from repro.experiments import engine as _engine
+
+    _engine.reset_default_engine()
+
+
+#: Engine types re-exported lazily so ``repro.api`` stays import-cheap
+#: and cycle-free: resolving any of these triggers the engine import.
+_ENGINE_TYPES = ("ExperimentEngine", "EngineStats", "FailureReport", "RetryPolicy")
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_TYPES:
+        from repro.experiments import engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -27,6 +27,7 @@ all three levels takes on the order of a second.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cachesim.bandwidth import BandwidthModel
 from repro.cachesim.lru import (
     FLAG_DIRTY,
@@ -120,7 +121,20 @@ class CacheHierarchy:
             raise SimulationError("work_per_memop must be non-negative")
         if stats is None:
             stats = RunStats(line_bytes=self.machine.line_bytes)
+        with obs.span(
+            "cachesim.run", machine=self.machine.name, events=len(trace)
+        ) as run_span:
+            self._run_events(trace, work_per_memop, mlp, stats)
+            run_span.set(cycles=stats.cycles)
+        return stats
 
+    def _run_events(
+        self,
+        trace: MemoryTrace,
+        work_per_memop: float,
+        mlp: float,
+        stats: RunStats,
+    ) -> None:
         shift = self._line_shift
         demand_cost = (
             self.machine.cycles_per_memop + self.machine.cpi_base * work_per_memop
@@ -150,7 +164,6 @@ class CacheHierarchy:
 
         stats.instructions += int(n_demand * (1.0 + work_per_memop)) + n_prefetch
         stats.cycles = self.now
-        return stats
 
     def drain_writebacks(self, stats: RunStats) -> int:
         """Account writebacks of dirty lines still resident at run end.

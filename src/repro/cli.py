@@ -24,6 +24,14 @@ SECONDS`` bounds each dispatched cell group, and ``--best-effort`` keeps
 a run alive past permanent cell failures — surviving cells are rendered,
 a per-cell failure table goes to stderr, and the exit code is non-zero
 (3).  The default ``--strict`` aborts with the same table and exit 2.
+
+Observability: every subcommand accepts ``--trace-out FILE`` (Chrome
+``trace_event`` JSON — load it in ``chrome://tracing`` or
+https://ui.perfetto.dev) and ``--metrics-out FILE`` (flat JSON counter /
+gauge / histogram dump); either flag enables :mod:`repro.obs` for the
+whole run, including engine worker processes.  ``--deterministic-trace``
+switches the tracer to a virtual clock so trace files are byte-stable.
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="Resource-efficient software prefetching (ICPP'14 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="FILE",
+            help="write a Chrome trace_event JSON of the run "
+            "(chrome://tracing / ui.perfetto.dev)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="write a flat JSON dump of the run's metrics registry",
+        )
+        p.add_argument(
+            "--deterministic-trace",
+            action="store_true",
+            help="use a virtual clock so trace output is byte-stable",
+        )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -102,11 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="keep going on cell failures; report them and exit non-zero",
         )
 
-    sub.add_parser("workloads", help="list available benchmark models")
+    p_wl = sub.add_parser("workloads", help="list available benchmark models")
+    add_obs(p_wl)
 
     p_opt = sub.add_parser("optimize", help="analyse a workload and print its prefetch plan")
     p_opt.add_argument("workload")
     add_common(p_opt)
+    add_obs(p_opt)
     p_opt.add_argument("--emit-asm", action="store_true", help="print rewritten assembly")
     p_opt.add_argument("--no-bypass", action="store_true", help="disable PREFETCHNTA")
 
@@ -114,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("workload")
     add_common(p_sim)
     add_engine(p_sim)
+    add_obs(p_sim)
     p_sim.add_argument(
         "--configs",
         default="baseline,hw,swnt",
@@ -123,10 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chr = sub.add_parser("characterize", help="summarise a workload's memory behaviour")
     p_chr.add_argument("workload")
     add_common(p_chr)
+    add_obs(p_chr)
 
     p_mrc = sub.add_parser("mrc", help="print StatStack miss-ratio curves")
     p_mrc.add_argument("workload")
     add_common(p_mrc)
+    add_obs(p_mrc)
     p_mrc.add_argument("--loads", type=int, default=3, help="hottest loads to include")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -139,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(p_exp)
     add_engine(p_exp)
+    add_obs(p_exp)
     p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
     return parser
 
@@ -146,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _configure_engine(args: argparse.Namespace):
     """Install the process-wide engine from the --jobs/--cache/--retries
     option family."""
-    from repro.experiments.engine import configure
+    from repro.api import configure
     from repro.retry import RetryPolicy
 
     retry = RetryPolicy(
@@ -386,29 +420,54 @@ def _render_experiment(args: argparse.Namespace) -> None:
         print(render_combined(run_combined(args.machine, scale=scale)))
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "mrc":
+        return _cmd_mrc(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    tracing = trace_out is not None or metrics_out is not None
+    if tracing:
+        from repro import obs
+
+        obs.enable(deterministic=getattr(args, "deterministic_trace", False))
+        obs.get_tracer().clear()
+        obs.metrics().reset()
     try:
-        if args.command == "workloads":
-            return _cmd_workloads()
-        if args.command == "optimize":
-            return _cmd_optimize(args)
-        if args.command == "simulate":
-            return _cmd_simulate(args)
-        if args.command == "characterize":
-            return _cmd_characterize(args)
-        if args.command == "mrc":
-            return _cmd_mrc(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        raise AssertionError(f"unhandled command {args.command}")
+        return _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         report = getattr(exc, "report", None)
         if report:
             print(report.format_table(), file=sys.stderr)
         return 2
+    finally:
+        # Exports are written even when the run errored — a partial
+        # trace of a failed run is exactly what one wants to look at.
+        if tracing:
+            from repro import obs
+
+            if trace_out is not None:
+                obs.write_chrome_trace(trace_out)
+                print(f"[obs] trace written to {trace_out}", file=sys.stderr)
+            if metrics_out is not None:
+                obs.write_metrics(metrics_out)
+                print(f"[obs] metrics written to {metrics_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.config import MachineConfig
 from repro.core.bypass import should_bypass
 from repro.core.distance import compute_prefetch_distance
@@ -95,6 +96,22 @@ class PrefetchOptimizer:
         """
         if len(sampling.reuse) == 0:
             raise AnalysisError("sampling produced no reuse samples")
+        with obs.span(
+            "analysis.pipeline", machine=self.machine.name
+        ) as pipeline_span:
+            report = self._analyze(sampling, refs_per_pc, store_pcs)
+            pipeline_span.set(
+                delinquent=len(report.delinquent),
+                decisions=len(report.decisions),
+            )
+            return report
+
+    def _analyze(
+        self,
+        sampling: SamplingResult,
+        refs_per_pc: dict[int, int] | None,
+        store_pcs: set[int] | None,
+    ) -> OptimizationReport:
         st = self.settings
         machine = self.machine
 
@@ -125,46 +142,49 @@ class PrefetchOptimizer:
         ratios = PerPCMissRatios(model, machine, size_grid=grid)
 
         report = OptimizationReport(machine_name=machine.name, latency_used=latency)
-        delinquent, skipped = identify_delinquent_loads(
-            ratios, latency=latency, min_samples=st.min_samples
-        )
+        with obs.span("analysis.delinquent") as delinq_span:
+            delinquent, skipped = identify_delinquent_loads(
+                ratios, latency=latency, min_samples=st.min_samples
+            )
+            delinq_span.set(found=len(delinquent), skipped=len(skipped))
         report.delinquent = delinquent
         report.skipped.update(skipped)
 
-        for load in delinquent:
-            info = analyze_stride(
-                sampling.strides,
-                load.pc,
-                line_bytes=machine.line_bytes,
-                dominance_threshold=st.dominance_threshold,
-                min_samples=st.min_samples,
-            )
-            if info is None:
-                report.skipped[load.pc] = "irregular-stride"
-                continue
-            report.strides[load.pc] = info
-
-            if refs_per_pc is not None and load.pc in refs_per_pc:
-                refs_in_loop = refs_per_pc[load.pc]
-            else:
-                refs_in_loop = int(load.sample_weight * sampling.n_refs)
-            distance = compute_prefetch_distance(
-                info,
-                machine,
-                latency=latency,
-                refs_in_loop=refs_in_loop,
-            )
-            nta = st.enable_bypass and should_bypass(
-                load.pc, sampling.reuse, ratios, st.flatness_tolerance
-            )
-            report.decisions.append(
-                PrefetchDecision(
-                    pc=load.pc,
-                    stride=info.dominant_stride,
-                    distance_bytes=distance,
-                    nta=nta,
+        with obs.span("analysis.decisions", loads=len(delinquent)):
+            for load in delinquent:
+                info = analyze_stride(
+                    sampling.strides,
+                    load.pc,
+                    line_bytes=machine.line_bytes,
+                    dominance_threshold=st.dominance_threshold,
+                    min_samples=st.min_samples,
                 )
-            )
+                if info is None:
+                    report.skipped[load.pc] = "irregular-stride"
+                    continue
+                report.strides[load.pc] = info
+
+                if refs_per_pc is not None and load.pc in refs_per_pc:
+                    refs_in_loop = refs_per_pc[load.pc]
+                else:
+                    refs_in_loop = int(load.sample_weight * sampling.n_refs)
+                distance = compute_prefetch_distance(
+                    info,
+                    machine,
+                    latency=latency,
+                    refs_in_loop=refs_in_loop,
+                )
+                nta = st.enable_bypass and should_bypass(
+                    load.pc, sampling.reuse, ratios, st.flatness_tolerance
+                )
+                report.decisions.append(
+                    PrefetchDecision(
+                        pc=load.pc,
+                        stride=info.dominant_stride,
+                        distance_bytes=distance,
+                        nta=nta,
+                    )
+                )
 
         if st.enable_nt_stores and store_pcs:
             from repro.core.ntstores import identify_nt_stores

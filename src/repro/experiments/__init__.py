@@ -16,30 +16,50 @@ fig10_fair_speedup  Fig. 10 (Fair-Speedup bars)
 fig11_qos           Fig. 11 (QoS degradation bars)
 fig12_parallel      Fig. 12 (multi-threaded suites)
 ==================  ===========================================
+
+The engine surface (``configure``/``current_engine``/…) lives on
+:mod:`repro.api`; import it from there.  The historical stringly-typed
+helpers (``profile_workload`` and friends) are gone — accessing them
+raises :class:`~repro.errors.ExperimentError` with a migration pointer.
 """
 
-from repro.api import ExperimentSpec
-from repro.experiments.engine import ExperimentEngine, configure, current_engine
-from repro.experiments.runner import (
-    CONFIGS,
-    WorkloadProfile,
-    plan_for,
-    profile_workload,
-    run_all_configs,
-    run_config,
-    run_spec,
+from repro.api import (
+    ExperimentSpec,
+    configure,
+    current_engine,
+    reset_default_engine,
 )
+from repro.experiments.runner import CONFIGS, WorkloadProfile, run_spec
 
 __all__ = [
     "CONFIGS",
     "ExperimentSpec",
-    "ExperimentEngine",
     "WorkloadProfile",
     "configure",
     "current_engine",
-    "plan_for",
-    "profile_workload",
-    "run_all_configs",
-    "run_config",
+    "reset_default_engine",
     "run_spec",
 ]
+
+_REMOVED = {
+    "profile_workload": "repro.api.profile",
+    "plan_for": "repro.api.plan",
+    "run_config": "repro.api.run",
+    "run_all_configs": "repro.api.run_many",
+}
+
+
+def __getattr__(name: str):
+    replacement = _REMOVED.get(name)
+    if replacement is not None:
+        from repro.errors import ExperimentError
+
+        raise ExperimentError(
+            f"repro.experiments.{name} was removed; call "
+            f"{replacement}(...) with a repro.api.ExperimentSpec instead"
+        )
+    if name == "ExperimentEngine":
+        from repro.experiments.engine import ExperimentEngine
+
+        return ExperimentEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -49,7 +49,6 @@ tolerance.
 from __future__ import annotations
 
 import os
-import sys
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -58,7 +57,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from repro import faults
+from repro import faults, obs
 from repro.api import CONFIGS, ExperimentSpec
 from repro.cache import ResultCache, default_cache_dir
 from repro.cachesim.stats import RunStats
@@ -77,6 +76,8 @@ __all__ = [
 
 #: Environment variable providing the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+_LOG = obs.get_logger("repro.engine")
 
 
 def _default_jobs() -> int:
@@ -128,8 +129,18 @@ class EngineStats:
         self.batches += 1
         self.wall_seconds += wall
 
-    def format(self, jobs: int = 1, cache: ResultCache | None = None) -> str:
-        """Human-readable summary line (the CLI prints this to stderr)."""
+    def format(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        tracer: obs.Tracer | None = None,
+    ) -> str:
+        """Human-readable summary line (the CLI prints this to stderr).
+
+        With a tracer (defaulting to the process-wide one when tracing
+        is enabled) a per-phase wall-time breakdown is appended, built
+        from the inclusive span totals of each pipeline stage.
+        """
         parts = [
             f"{self.cells} cells",
             f"{self.computed} computed",
@@ -143,6 +154,14 @@ class EngineStats:
         if self.retries:
             parts.insert(-2, f"{self.retries} retries")
         line = "engine: " + " | ".join(parts)
+        if tracer is None:
+            tracer = obs.get_tracer()
+        if tracer is not None:
+            totals = tracer.phase_totals()
+            if totals:
+                line += "\nphases: " + " | ".join(
+                    f"{phase} {seconds:.2f}s" for phase, seconds in totals.items()
+                )
         if cache is not None:
             line += f"\n{cache.describe()}"
         return line
@@ -204,6 +223,7 @@ class _Batch:
     memo_hits: int = 0
     disk_hits: int = 0
     retries: int = 0
+    bisections: int = 0
     started: float = field(default_factory=time.perf_counter)
 
 
@@ -216,14 +236,28 @@ class _Task:
     started: float = 0.0
 
 
-def _compute_group(specs: tuple[ExperimentSpec, ...]) -> list[tuple[ExperimentSpec, RunStats]]:
+def _compute_group(
+    specs: tuple[ExperimentSpec, ...],
+    trace: bool = False,
+    deterministic: bool = False,
+) -> tuple[list[tuple[ExperimentSpec, RunStats]], list[dict], dict]:
     """Worker entry point: simulate one profile-sharing group of cells.
 
     Runs in a separate process; ``runner``'s in-process caches make the
-    shared profiling pass and plans compute once per group.
+    shared profiling pass and plans compute once per group.  When the
+    parent traces, the worker traces too and ships its finished spans
+    and metrics snapshot back alongside the results — the parent ingests
+    them so one Chrome trace shows every process's track.
     """
     faults.mark_worker()
-    return [(spec, runner.compute_run(spec)) for spec in specs]
+    if trace:
+        tracer = obs.enable(deterministic=deterministic)
+        tracer.clear()  # drop spans inherited from the parent via fork
+        obs.metrics().reset()
+    payload = [(spec, runner.compute_run(spec)) for spec in specs]
+    if not trace:
+        return payload, [], {}
+    return payload, obs.drain_spans(), obs.metrics().snapshot()
 
 
 class ExperimentEngine:
@@ -319,6 +353,8 @@ class ExperimentEngine:
         cold: list[ExperimentSpec] = []
 
         previous_cache = runner.set_cache(self.cache)
+        batch_span = obs.span("engine.batch", cells=len(ordered), jobs=self.jobs)
+        batch_span.__enter__()
         try:
             for spec in ordered:
                 if runner.memo_contains(spec):
@@ -357,6 +393,27 @@ class ExperimentEngine:
                 retries=batch.retries,
                 fallbacks=report.fallbacks,
             )
+            batch_span.set(
+                computed=batch.computed,
+                memo_hits=batch.memo_hits,
+                disk_hits=batch.disk_hits,
+                failed=len(report),
+                retries=batch.retries,
+            )
+            batch_span.__exit__(None, None, None)
+            if obs.enabled():
+                reg = obs.metrics()
+                reg.counter("engine.cells").inc(batch.done)
+                reg.counter("engine.cells.computed").inc(batch.computed)
+                reg.counter("engine.cache.memo_hits").inc(batch.memo_hits)
+                reg.counter("engine.cache.disk_hits").inc(batch.disk_hits)
+                reg.counter("engine.cells.failed").inc(len(report))
+                reg.counter("engine.retries").inc(batch.retries)
+                reg.counter("engine.bisections").inc(batch.bisections)
+                reg.counter("engine.fallbacks").inc(report.fallbacks)
+                reg.gauge("engine.workers").set(self.jobs)
+                if wall > 0:
+                    reg.gauge("engine.cells_per_sec").set(batch.done / wall)
         return results, report
 
     def run_grid(
@@ -383,10 +440,11 @@ class ExperimentEngine:
     # store, never abort a batch.
 
     def _cache_get(self, spec: ExperimentSpec) -> RunStats | None:
-        try:
-            return self.cache.get_stats(spec, runner.PROFILE_RATE)
-        except Exception:
-            return None
+        with obs.span("engine.cache.get", cell=spec.label()):
+            try:
+                return self.cache.get_stats(spec, runner.PROFILE_RATE)
+            except Exception:
+                return None
 
     def _cache_has(self, spec: ExperimentSpec) -> bool:
         try:
@@ -395,10 +453,11 @@ class ExperimentEngine:
             return True  # don't try to re-persist through a failing cache
 
     def _cache_put(self, spec: ExperimentSpec, stats: RunStats) -> None:
-        try:
-            self.cache.put_stats(spec, runner.PROFILE_RATE, stats)
-        except Exception:
-            pass
+        with obs.span("engine.cache.put", cell=spec.label()):
+            try:
+                self.cache.put_stats(spec, runner.PROFILE_RATE, stats)
+            except Exception:
+                pass
 
     # -- internals -----------------------------------------------------
 
@@ -438,7 +497,8 @@ class ExperimentEngine:
                 attempt += 1
                 started = time.perf_counter()
                 try:
-                    stats = runner.run_spec(spec)
+                    with obs.span("engine.cell", cell=spec.label(), attempt=attempt):
+                        stats = runner.run_spec(spec)
                 except Exception as exc:
                     elapsed = time.perf_counter() - started
                     if self.retry.retriable(attempt):
@@ -476,21 +536,32 @@ class ExperimentEngine:
         pending: dict[Future, _Task] = {}
         pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=workers)
         deadline = self.retry.timeout
+        tracing = obs.enabled()
+        deterministic = tracing and obs.get_tracer().deterministic
+        dispatch_span = obs.span(
+            "engine.dispatch", groups=len(group_list), workers=workers
+        )
+        dispatch_span.__enter__()
         try:
             while queue or pending:
                 while queue and pool is not None:
                     task = queue.popleft()
                     task.started = time.perf_counter()
-                    pending[pool.submit(_compute_group, task.specs)] = task
+                    pending[
+                        pool.submit(
+                            _compute_group, task.specs, tracing, deterministic
+                        )
+                    ] = task
 
                 wait_timeout = None
                 if deadline is not None and pending:
                     now = time.perf_counter()
                     earliest = min(t.started + deadline for t in pending.values())
                     wait_timeout = max(0.0, earliest - now)
-                done, _ = wait(
-                    set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
-                )
+                with obs.span("engine.wait", pending=len(pending)):
+                    done, _ = wait(
+                        set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                    )
 
                 if not done:
                     pool = self._expire_hung_groups(
@@ -502,13 +573,18 @@ class ExperimentEngine:
                 for future in done:
                     task = pending.pop(future)
                     try:
-                        payload = future.result()
+                        payload, spans, worker_metrics = future.result()
                     except BrokenProcessPool:
                         broken = True
                         queue.append(task)
                     except Exception as exc:
                         self._bisect_or_fail(task, exc, queue, batch, report)
                     else:
+                        if tracing:
+                            if spans:
+                                obs.get_tracer().ingest(spans)
+                            if worker_metrics:
+                                obs.metrics().merge(worker_metrics)
                         for spec, stats in payload:
                             runner.seed_memo(spec, stats, persist=True)
                             results[spec] = stats
@@ -529,6 +605,7 @@ class ExperimentEngine:
                             queue.popleft().specs, results, batch, report
                         )
         finally:
+            dispatch_span.__exit__(None, None, None)
             if pool is not None:
                 if pending:
                     # An exception escaped with work in flight (possibly
@@ -582,8 +659,12 @@ class ExperimentEngine:
         if len(specs) > 1:
             mid = len(specs) // 2
             batch.retries += 1
-            queue.append(_Task(specs[:mid], attempt=task.attempt))
-            queue.append(_Task(specs[mid:], attempt=task.attempt))
+            batch.bisections += 1
+            with obs.span(
+                "engine.bisect", cells=len(specs), error=type(exc).__name__
+            ):
+                queue.append(_Task(specs[:mid], attempt=task.attempt))
+                queue.append(_Task(specs[mid:], attempt=task.attempt))
             return
         spec = specs[0]
         elapsed = time.perf_counter() - task.started if task.started else 0.0
@@ -611,9 +692,10 @@ class ExperimentEngine:
         if callable(self.progress):
             self.progress(batch.done, batch.total, spec, source)
             return
-        print(
-            f"[engine] {batch.done}/{batch.total} {spec.label()}: {source}",
-            file=sys.stderr,
+        # Diagnostics go through the logging tree (stderr), never stdout:
+        # rendered tables and JSON exports must stay machine-parseable.
+        _LOG.info(
+            "[engine] %d/%d %s: %s", batch.done, batch.total, spec.label(), source
         )
 
 

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import ExperimentSpec
-from repro.experiments.engine import ExperimentEngine, current_engine
+from repro.api import ExperimentEngine, ExperimentSpec, current_engine
 from repro.experiments.fig4_speedup import POLICIES, POLICY_LABELS
 from repro.experiments.tables import render_table
 from repro.metrics.traffic import traffic_increase, traffic_reduction_vs

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import ExperimentSpec
 from repro.config import get_machine
-from repro.experiments.engine import ExperimentEngine, current_engine
+from repro.api import ExperimentEngine, ExperimentSpec, current_engine
 from repro.experiments.tables import render_table
 from repro.workloads.spec2006 import ALL_SINGLE_CORE
 

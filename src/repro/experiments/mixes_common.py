@@ -12,9 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.api import ExperimentSpec
 from repro.config import get_machine
-from repro.experiments.engine import ExperimentEngine, current_engine
+from repro.api import ExperimentEngine, ExperimentSpec, current_engine
 from repro.experiments.runner import profile_for, run_spec
 from repro.metrics.throughput import fair_speedup, qos_degradation, weighted_speedup
 from repro.multicore.contention import AppProfile, solve_mix

@@ -18,18 +18,20 @@ spec-based entry points (:func:`profile_for_spec`, :func:`plan_for_spec`,
 :class:`~repro.cache.ResultCache` is activated (see :func:`set_cache`),
 one on-disk store — so the CLI, the parallel engine and the experiment
 drivers all reuse each other's work.  The historical stringly-typed
-functions (:func:`profile_workload`, :func:`plan_for`, :func:`run_config`,
-:func:`run_all_configs`) survive as thin deprecated shims over the spec
-API.
+functions were removed after their deprecation cycle; the old names now
+raise :class:`~repro.errors.ExperimentError` pointing at the spec API.
+
+Every expensive stage is wrapped in a :func:`repro.obs.span` so traced
+runs show where profiling, planning and simulation time goes (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro import faults
+from repro import faults, obs
 from repro.api import CONFIGS, PLAN_KINDS, ExperimentSpec
 from repro.baselines.stride_centric import stride_centric_plan
 from repro.cache import ResultCache
@@ -61,10 +63,6 @@ __all__ = [
     "memo_contains",
     "memo_size",
     "clear_memo",
-    "profile_workload",
-    "plan_for",
-    "run_config",
-    "run_all_configs",
     "hw_prefetcher_for",
 ]
 
@@ -150,24 +148,32 @@ def profile_for(
 
 @lru_cache(maxsize=128)
 def _profile(name: str, input_set: str, scale: float, rate: float) -> WorkloadProfile:
-    program = build_program(name, input_set, scale)
-    seed = workload_seed(name, input_set)
-    execution = execute_program(program, seed=seed)
-    sampling = None
-    if _CACHE is not None:
-        try:
-            sampling = _CACHE.get_sampling(name, input_set, scale, rate)
-        except Exception:
-            sampling = None
-    if sampling is None:
-        sampler = RuntimeSampler(rate=rate, seed=seed & 0xFFFF_FFFF)
-        sampling = sampler.sample(execution.trace)
+    with obs.span(
+        "profile.pass", workload=name, input_set=input_set, scale=scale
+    ):
+        with obs.span("profile.build", workload=name):
+            program = build_program(name, input_set, scale)
+        seed = workload_seed(name, input_set)
+        with obs.span("profile.execute", workload=name) as exec_span:
+            execution = execute_program(program, seed=seed)
+            exec_span.set(refs=len(execution.trace))
+        sampling = None
         if _CACHE is not None:
             try:
-                _CACHE.put_sampling(name, input_set, scale, rate, sampling)
+                sampling = _CACHE.get_sampling(name, input_set, scale, rate)
             except Exception:
-                pass
-    return WorkloadProfile(program, execution, sampling)
+                sampling = None
+        if sampling is None:
+            sampler = RuntimeSampler(rate=rate, seed=seed & 0xFFFF_FFFF)
+            sampling = sampler.sample(execution.trace)
+            if _CACHE is not None:
+                try:
+                    _CACHE.put_sampling(name, input_set, scale, rate, sampling)
+                except Exception:
+                    pass
+        elif obs.enabled():
+            obs.metrics().counter("profile.sampling_cache_hits").inc()
+        return WorkloadProfile(program, execution, sampling)
 
 
 def profile_for_spec(spec: ExperimentSpec) -> WorkloadProfile:
@@ -187,13 +193,16 @@ def _plan(name: str, machine_name: str, kind: str, scale: float) -> Optimization
         raise ExperimentError(f"unknown plan kind {kind!r}; valid: {PLAN_KINDS}")
     profile = profile_for(name, "ref", scale)
     machine = get_machine(machine_name)
-    if kind == "stride":
-        return stride_centric_plan(profile.sampling, machine)
-    settings = OptimizerSettings(enable_bypass=(kind == "swnt"))
-    optimizer = PrefetchOptimizer(machine, settings)
-    return optimizer.analyze(
-        profile.sampling, refs_per_pc=profile.program.refs_per_pc()
-    )
+    with obs.span(
+        "plan.derive", workload=name, machine=machine_name, kind=kind
+    ):
+        if kind == "stride":
+            return stride_centric_plan(profile.sampling, machine)
+        settings = OptimizerSettings(enable_bypass=(kind == "swnt"))
+        optimizer = PrefetchOptimizer(machine, settings)
+        return optimizer.analyze(
+            profile.sampling, refs_per_pc=profile.program.refs_per_pc()
+        )
 
 
 def plan_for_spec(spec: ExperimentSpec) -> OptimizationReport:
@@ -221,30 +230,39 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
     """
     if faults.ACTIVE:
         faults.check("worker.compute", spec)
-    machine = get_machine(spec.machine)
-    profile = profile_for_spec(spec)
+    with obs.span("cell.compute", cell=spec.label()):
+        machine = get_machine(spec.machine)
+        profile = profile_for_spec(spec)
 
-    if spec.config in ("baseline", "hw"):
-        execution = profile.execution
-    else:
-        plan = plan_for_spec(spec)
-        rewritten = insert_prefetches(profile.program, plan)
-        execution = execute_program(
-            rewritten, seed=workload_seed(spec.workload, spec.input_set)
-        )
+        if spec.config in ("baseline", "hw"):
+            execution = profile.execution
+        else:
+            plan = plan_for_spec(spec)
+            with obs.span("rewrite.apply", cell=spec.label()):
+                rewritten = insert_prefetches(profile.program, plan)
+                execution = execute_program(
+                    rewritten, seed=workload_seed(spec.workload, spec.input_set)
+                )
 
-    hierarchy = CacheHierarchy(machine)
-    if spec.config in ("hw", "hwsw"):
-        hierarchy.prefetcher = hw_prefetcher_for(
-            machine, hierarchy.bandwidth.utilisation
+        hierarchy = CacheHierarchy(machine)
+        if spec.config in ("hw", "hwsw"):
+            hierarchy.prefetcher = hw_prefetcher_for(
+                machine, hierarchy.bandwidth.utilisation
+            )
+        stats = hierarchy.run(
+            execution.trace,
+            work_per_memop=execution.work_per_memop,
+            mlp=execution.mlp,
         )
-    stats = hierarchy.run(
-        execution.trace,
-        work_per_memop=execution.work_per_memop,
-        mlp=execution.mlp,
-    )
-    hierarchy.drain_writebacks(stats)
-    return stats
+        hierarchy.drain_writebacks(stats)
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("sim.cells").inc()
+            reg.counter("sim.dram_bytes").inc(stats.dram_bytes)
+            reg.histogram("sim.bandwidth_gbs").observe(
+                stats.bandwidth_gbs(machine.freq_ghz)
+            )
+        return stats
 
 
 def run_spec(spec: ExperimentSpec) -> RunStats:
@@ -296,83 +314,25 @@ def clear_memo() -> None:
     _plan.cache_clear()
 
 
-# -- deprecated stringly-typed shims -----------------------------------
+# -- removed stringly-typed entry points --------------------------------
+
+# The historical five-positional-argument functions were deprecated when
+# the spec API landed and are now gone.  Accessing the old names raises
+# ExperimentError (not AttributeError) so stale callers get a pointed
+# migration message instead of a generic import failure.
+_REMOVED = {
+    "profile_workload": "repro.api.profile",
+    "plan_for": "repro.api.plan",
+    "run_config": "repro.api.run",
+    "run_all_configs": "repro.api.run_many",
+}
 
 
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.experiments.runner.{old} is deprecated; use {new} "
-        "with repro.api.ExperimentSpec instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def profile_workload(
-    name: str,
-    input_set: str = "ref",
-    scale: float = 1.0,
-    rate: float = PROFILE_RATE,
-) -> WorkloadProfile:
-    """Deprecated shim: build, execute and sample one workload.
-
-    Use :func:`repro.api.profile` (or :func:`profile_for`) instead.
-    """
-    _deprecated("profile_workload", "repro.api.profile")
-    return profile_for(name, input_set, scale, rate)
-
-
-def plan_for(
-    name: str,
-    machine_name: str,
-    kind: str = "swnt",
-    input_set: str = "ref",
-    scale: float = 1.0,
-) -> OptimizationReport:
-    """Deprecated shim: prefetch plan of one method on one machine.
-
-    Use :func:`repro.api.plan` instead.  ``input_set`` never influenced
-    the plan (profiling is always on the reference input) and is ignored.
-    """
-    _deprecated("plan_for", "repro.api.plan")
-    return plan_for_spec(
-        ExperimentSpec(name, machine_name, kind, input_set, scale)
-    )
-
-
-def run_config(
-    name: str,
-    machine_name: str,
-    config: str,
-    input_set: str = "ref",
-    scale: float = 1.0,
-) -> RunStats:
-    """Deprecated shim: simulate one workload under one configuration.
-
-    Use :func:`repro.api.run` instead.  Unlike the historical version,
-    this routes through the shared cached entry point, so results
-    computed here and by grid sweeps are interchangeable.
-    """
-    _deprecated("run_config", "repro.api.run")
-    return run_spec(ExperimentSpec(name, machine_name, config, input_set, scale))
-
-
-def run_all_configs(
-    name: str,
-    machine_name: str,
-    input_set: str = "ref",
-    scale: float = 1.0,
-    configs: tuple[str, ...] = CONFIGS,
-) -> dict[str, RunStats]:
-    """Deprecated shim: run every requested configuration (cached).
-
-    Use :func:`repro.api.run_many` (engine-backed, parallelisable)
-    instead.
-    """
-    _deprecated("run_all_configs", "repro.api.run_many")
-    return {
-        config: run_spec(
-            ExperimentSpec(name, machine_name, config, input_set, scale)
+def __getattr__(name: str):
+    replacement = _REMOVED.get(name)
+    if replacement is not None:
+        raise ExperimentError(
+            f"repro.experiments.runner.{name} was removed; call "
+            f"{replacement}(...) with a repro.api.ExperimentSpec instead"
         )
-        for config in configs
-    }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,44 @@
+"""Diagnostics logging that always lands on *current* ``sys.stderr``.
+
+Progress lines and other human-facing diagnostics must never pollute
+stdout — ``repro ... > figure.txt`` and JSON exports have to stay
+machine-parseable.  Python's stock :class:`logging.StreamHandler` binds
+``sys.stderr`` at construction time, which breaks capture-based tests
+and notebooks that swap the stream; this handler resolves the stream at
+emit time instead.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger"]
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes each record to whatever ``sys.stderr`` is *right now*."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy, wired to stderr once.
+
+    The ``repro`` root logger gets one :class:`_DynamicStderrHandler`
+    at INFO with a bare-message format and does not propagate, so
+    applications embedding the library keep full control of their own
+    logging tree.
+    """
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+    return logging.getLogger(name)

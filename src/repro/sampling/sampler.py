@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SamplingError
 from repro.sampling.reuse import (
     ReuseSampleSet,
@@ -104,15 +105,19 @@ class RuntimeSampler:
 
     def sample(self, trace: MemoryTrace) -> SamplingResult:
         """Run the integrated reuse + stride sampling pass."""
-        demand = trace.demand_only()
-        n = len(demand)
-        idx = self.select_sample_points(n)
-        # Both samplers share the demand view; precompute next-access
-        # maps once each.
-        next_line = next_same_value_index(demand.line_addr(self.line_bytes))
-        next_pc = next_same_value_index(demand.pc)
-        reuse = collect_reuse_samples(demand, idx, self.line_bytes, next_line)
-        strides = collect_stride_samples(demand, idx, next_pc)
+        with obs.span("sampling.pass", rate=self.rate) as pass_span:
+            demand = trace.demand_only()
+            n = len(demand)
+            idx = self.select_sample_points(n)
+            pass_span.set(refs=n, samples=len(idx))
+            # Both samplers share the demand view; precompute next-access
+            # maps once each.
+            next_line = next_same_value_index(demand.line_addr(self.line_bytes))
+            next_pc = next_same_value_index(demand.pc)
+            reuse = collect_reuse_samples(demand, idx, self.line_bytes, next_line)
+            strides = collect_stride_samples(demand, idx, next_pc)
+            if obs.enabled():
+                obs.metrics().histogram("sampling.samples").observe(len(idx))
         overhead = _BASE_OVERHEAD + (
             _COST_PER_SAMPLE_REFS * len(idx) / n if n else 0.0
         )

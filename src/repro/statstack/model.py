@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ModelError
 from repro.sampling.reuse import ReuseSampleSet
 
@@ -128,6 +129,10 @@ class StatStackModel:
             raise ModelError("StatStack needs at least one reuse sample")
         if line_bytes <= 0 or line_bytes & (line_bytes - 1):
             raise ModelError("line_bytes must be a positive power of two")
+        with obs.span("statstack.solve", samples=len(samples)):
+            self._build(samples, line_bytes)
+
+    def _build(self, samples: ReuseSampleSet, line_bytes: int) -> None:
         self.line_bytes = line_bytes
         finite = samples.finite_mask
         self._finite_sorted = np.sort(samples.distance[finite])

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.config import MachineConfig
 from repro.errors import ModelError
 from repro.statstack.model import StatStackModel
@@ -114,10 +115,11 @@ class PerPCMissRatios:
 
     def application_curve(self) -> MissRatioCurve:
         """Whole-application miss ratio curve over the size grid."""
-        ratios = np.array(
-            [self.model.miss_ratio(int(s)) for s in self.size_grid]
-        )
-        return MissRatioCurve(self.size_grid, ratios)
+        with obs.span("statstack.mrc", sizes=len(self.size_grid)):
+            ratios = np.array(
+                [self.model.miss_ratio(int(s)) for s in self.size_grid]
+            )
+            return MissRatioCurve(self.size_grid, ratios)
 
     def pc_curve(self, pc: int) -> MissRatioCurve:
         """One instruction's miss ratio curve over the size grid."""

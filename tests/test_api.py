@@ -1,4 +1,4 @@
-"""Tests for the unified ExperimentSpec API and the deprecated shims."""
+"""Tests for the unified ExperimentSpec API and the removed legacy shims."""
 
 import pytest
 
@@ -97,35 +97,61 @@ class TestFacade:
         assert hwsw is swnt
 
 
-class TestDeprecatedShims:
-    def test_profile_workload_warns_and_matches(self):
-        direct = runner.profile_for("mcf", "ref", SCALE)
-        with pytest.warns(DeprecationWarning):
-            legacy = runner.profile_workload("mcf", "ref", SCALE)
-        assert legacy is direct
+class TestRemovedShims:
+    """The stringly-typed entry points are gone; the old names raise
+    ExperimentError with a migration pointer, not AttributeError."""
 
-    def test_run_config_warns_and_shares_cache(self):
-        spec = ExperimentSpec("libquantum", "amd-phenom-ii", "hw", scale=SCALE)
-        fresh = run(spec)
-        with pytest.warns(DeprecationWarning):
-            legacy = runner.run_config("libquantum", "amd-phenom-ii", "hw", scale=SCALE)
-        assert legacy is fresh
+    NAMES = ("profile_workload", "plan_for", "run_config", "run_all_configs")
 
-    def test_run_all_configs_warns_and_covers_configs(self):
-        with pytest.warns(DeprecationWarning):
-            runs = runner.run_all_configs(
-                "libquantum", "amd-phenom-ii", scale=SCALE, configs=("baseline", "hw")
-            )
-        assert set(runs) == {"baseline", "hw"}
-        assert runs["baseline"] is run(
-            ExperimentSpec("libquantum", "amd-phenom-ii", "baseline", scale=SCALE)
-        )
+    @pytest.mark.parametrize("name", NAMES)
+    def test_runner_names_raise_experiment_error(self, name):
+        with pytest.raises(ExperimentError, match="removed"):
+            getattr(runner, name)
 
-    def test_plan_for_warns_and_matches(self):
-        direct = plan(ExperimentSpec("libquantum", "amd-phenom-ii", "sw", scale=SCALE))
-        with pytest.warns(DeprecationWarning):
-            legacy = runner.plan_for("libquantum", "amd-phenom-ii", "sw", scale=SCALE)
-        assert legacy is direct
+    @pytest.mark.parametrize("name", NAMES)
+    def test_package_names_raise_experiment_error(self, name):
+        import repro.experiments as experiments
+
+        with pytest.raises(ExperimentError, match="removed"):
+            getattr(experiments, name)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_error_points_at_replacement(self, name):
+        with pytest.raises(ExperimentError, match="repro.api"):
+            getattr(runner, name)
+
+    def test_unknown_attribute_still_attribute_error(self):
+        with pytest.raises(AttributeError):
+            runner.no_such_function
 
     def test_configs_reexported(self):
         assert runner.CONFIGS == CONFIGS
+
+
+class TestEngineSurface:
+    """repro.api is the one import point for the engine machinery."""
+
+    def test_engine_types_resolvable(self):
+        import repro.api as api
+
+        assert api.ExperimentEngine.__name__ == "ExperimentEngine"
+        assert api.EngineStats.__name__ == "EngineStats"
+        assert api.FailureReport.__name__ == "FailureReport"
+        assert api.RetryPolicy.__name__ == "RetryPolicy"
+
+    def test_configure_installs_default_engine(self):
+        from repro.api import configure, current_engine, reset_default_engine
+
+        try:
+            engine = configure(jobs=1, use_cache=False)
+            assert current_engine() is engine
+        finally:
+            reset_default_engine()
+
+    def test_current_engine_creates_on_demand(self):
+        from repro.api import current_engine, reset_default_engine
+
+        reset_default_engine()
+        engine = current_engine()
+        assert current_engine() is engine
+        reset_default_engine()

@@ -3,19 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.api import CONFIGS, ExperimentSpec, plan, profile, run_many
 from repro.errors import ExperimentError
 from repro.experiments.fig3_mrc import run_fig3
 from repro.experiments.fig4_speedup import POLICIES, average_row, render_fig4, run_fig4
 from repro.experiments.fig7_mixes import fig7_summary, run_fig7
 from repro.experiments.fig8_mix_detail import run_fig8
 from repro.experiments.mixes_common import app_profile, evaluate_mix
-from repro.experiments.runner import (
-    CONFIGS,
-    plan_for,
-    profile_workload,
-    run_all_configs,
-    run_config,
-)
 from repro.experiments.table1_coverage import coverage_for
 from repro.experiments.tables import render_series, render_table
 from repro.workloads.mixes import Mix
@@ -23,38 +17,49 @@ from repro.workloads.mixes import Mix
 SCALE = 0.08
 
 
+def run_all(workload, machine, scale, configs=CONFIGS):
+    """All-configs sweep keyed by config name (spec-API equivalent of
+    the removed run_all_configs helper)."""
+    grid = ExperimentSpec.grid((workload,), (machine,), configs, scales=(scale,))
+    return {spec.config: stats for spec, stats in run_many(grid).items()}
+
+
 class TestRunner:
     def test_profile_cached(self):
-        a = profile_workload("mcf", "ref", SCALE)
-        b = profile_workload("mcf", "ref", SCALE)
+        a = profile(ExperimentSpec("mcf", "amd-phenom-ii", scale=SCALE))
+        b = profile(ExperimentSpec("mcf", "amd-phenom-ii", scale=SCALE))
         assert a is b
 
     def test_unknown_config(self):
         with pytest.raises(ExperimentError):
-            run_config("mcf", "amd-phenom-ii", "quantum", scale=SCALE)
+            ExperimentSpec("mcf", "amd-phenom-ii", "quantum", scale=SCALE)
 
     def test_all_configs_run(self):
-        runs = run_all_configs("soplex", "amd-phenom-ii", scale=SCALE)
+        runs = run_all("soplex", "amd-phenom-ii", SCALE)
         assert set(runs) == set(CONFIGS)
         for stats in runs.values():
             assert stats.cycles > 0
 
     def test_sw_configs_issue_prefetches(self):
-        runs = run_all_configs("libquantum", "amd-phenom-ii", scale=SCALE)
+        runs = run_all("libquantum", "amd-phenom-ii", SCALE)
         assert runs["baseline"].sw_prefetches == 0
         assert runs["swnt"].sw_prefetches > 0
         assert runs["hw"].hw_prefetches >= 0
 
     def test_plan_kinds_differ(self):
-        swnt = plan_for("libquantum", "amd-phenom-ii", "swnt", scale=SCALE)
-        sw = plan_for("libquantum", "amd-phenom-ii", "sw", scale=SCALE)
+        swnt = plan(ExperimentSpec("libquantum", "amd-phenom-ii", "swnt", scale=SCALE))
+        sw = plan(ExperimentSpec("libquantum", "amd-phenom-ii", "sw", scale=SCALE))
         assert any(d.nta for d in swnt.decisions)
         assert not any(d.nta for d in sw.decisions)
 
     def test_profiles_use_ref_input(self):
         # the plan for an alternate input is derived from the ref profile
-        plan_alt = plan_for("mcf", "amd-phenom-ii", "swnt", "train", SCALE)
-        plan_ref = plan_for("mcf", "amd-phenom-ii", "swnt", "ref", SCALE)
+        plan_alt = plan(
+            ExperimentSpec("mcf", "amd-phenom-ii", "swnt", "train", SCALE)
+        )
+        plan_ref = plan(
+            ExperimentSpec("mcf", "amd-phenom-ii", "swnt", "ref", SCALE)
+        )
         assert plan_alt.prefetched_pcs == plan_ref.prefetched_pcs
 
 
@@ -102,11 +107,7 @@ class TestDrivers:
 
 class TestCombinedAndBars:
     def test_hwsw_config_runs(self):
-        from repro.experiments.runner import run_all_configs
-
-        runs = run_all_configs(
-            "cigar", "amd-phenom-ii", scale=SCALE, configs=("baseline", "hwsw")
-        )
+        runs = run_all("cigar", "amd-phenom-ii", SCALE, configs=("baseline", "hwsw"))
         stats = runs["hwsw"]
         # both engines active: software prefetches executed AND hardware
         # prefetches issued

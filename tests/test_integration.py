@@ -7,35 +7,37 @@ harness verifies at full scale.
 
 import pytest
 
+from repro.api import CONFIGS, ExperimentSpec, plan, profile, run_many
 from repro.cachesim import FunctionalCacheSim
 from repro.config import amd_phenom_ii, get_machine
 from repro.core import apply_prefetch_plan
-from repro.experiments.runner import (
-    hw_prefetcher_for,
-    plan_for,
-    profile_workload,
-    run_all_configs,
-)
+from repro.experiments.runner import hw_prefetcher_for
 from repro.multicore.simulator import CoreSpec, MulticoreSimulator
 
 SCALE = 0.12
 
 
+def run_all(workload, machine, scale, configs=CONFIGS):
+    """All-configs sweep keyed by config name via the spec API."""
+    grid = ExperimentSpec.grid((workload,), (machine,), configs, scales=(scale,))
+    return {spec.config: stats for spec, stats in run_many(grid).items()}
+
+
 class TestSingleBenchmarkShapes:
     def test_libquantum_software_prefetching_wins_big(self):
-        runs = run_all_configs("libquantum", "amd-phenom-ii", scale=SCALE)
+        runs = run_all("libquantum", "amd-phenom-ii", SCALE)
         base, swnt = runs["baseline"], runs["swnt"]
         assert base.cycles / swnt.cycles > 1.2
         # most of the stream prefetches are non-temporal and useful
         assert swnt.sw_useful > 0.5 * swnt.l1.accesses * 0.1
 
     def test_omnetpp_has_little_to_gain(self):
-        runs = run_all_configs("omnetpp", "amd-phenom-ii", scale=SCALE)
+        runs = run_all("omnetpp", "amd-phenom-ii", SCALE)
         speedup = runs["baseline"].cycles / runs["swnt"].cycles
         assert speedup < 1.20
 
     def test_cigar_defeats_amd_hardware_prefetcher(self):
-        runs = run_all_configs("cigar", "amd-phenom-ii", scale=SCALE)
+        runs = run_all("cigar", "amd-phenom-ii", SCALE)
         hw_speedup = runs["baseline"].cycles / runs["hw"].cycles
         sw_speedup = runs["baseline"].cycles / runs["swnt"].cycles
         assert hw_speedup < 1.0  # paper: >11 % slowdown
@@ -44,18 +46,18 @@ class TestSingleBenchmarkShapes:
 
     def test_hw_prefetching_inflates_traffic_swnt_does_not(self):
         for name in ("mcf", "omnetpp"):
-            runs = run_all_configs(name, "intel-i7-2600k", scale=SCALE)
+            runs = run_all(name, "intel-i7-2600k", SCALE)
             assert runs["hw"].dram_bytes >= runs["baseline"].dram_bytes
             assert runs["swnt"].dram_bytes <= 1.1 * runs["baseline"].dram_bytes
 
     def test_prefetch_plan_removes_covered_misses(self):
         machine = amd_phenom_ii()
-        profile = profile_workload("leslie3d", "ref", SCALE)
-        plan = plan_for("leslie3d", "amd-phenom-ii", "swnt", scale=SCALE)
+        profile_ = profile(ExperimentSpec("leslie3d", "amd-phenom-ii", scale=SCALE))
+        plan_ = plan(ExperimentSpec("leslie3d", "amd-phenom-ii", "swnt", scale=SCALE))
         base_sim = FunctionalCacheSim(machine.l1)
-        base = base_sim.run(profile.execution.trace).total_misses()
+        base = base_sim.run(profile_.execution.trace).total_misses()
         opt_sim = FunctionalCacheSim(machine.l1)
-        opt_trace = apply_prefetch_plan(profile.execution.trace, plan)
+        opt_trace = apply_prefetch_plan(profile_.execution.trace, plan_)
         opt = opt_sim.run(opt_trace, honor_prefetches=True).total_misses()
         assert opt < 0.6 * base  # leslie3d is stride-dominated
 
@@ -74,18 +76,18 @@ class TestMulticoreShape:
         def specs(config):
             out = []
             for name in ("libquantum", "lbm"):
-                profile = profile_workload(name, "ref", SCALE)
+                profile_ = profile(ExperimentSpec(name, machine.name, scale=SCALE))
                 if config == "swnt":
                     from repro.isa import execute_program, insert_prefetches
                     from repro.workloads import workload_seed
 
-                    plan = plan_for(name, machine.name, "swnt", scale=SCALE)
+                    plan_ = plan(ExperimentSpec(name, machine.name, "swnt", scale=SCALE))
                     execution = execute_program(
-                        insert_prefetches(profile.program, plan),
+                        insert_prefetches(profile_.program, plan_),
                         seed=workload_seed(name, "ref"),
                     )
                 else:
-                    execution = profile.execution
+                    execution = profile_.execution
                 out.append(
                     CoreSpec(
                         execution.trace,
@@ -123,11 +125,11 @@ class TestMulticoreShape:
 
 class TestDeterminism:
     def test_full_pipeline_reproducible(self):
-        a = run_all_configs("gcc", "amd-phenom-ii", scale=0.05, configs=("swnt",))
+        a = run_all("gcc", "amd-phenom-ii", 0.05, configs=("swnt",))
         # bypass every in-process cache with a fresh computation
         from repro.experiments import runner
 
         runner.clear_memo()
-        b = run_all_configs("gcc", "amd-phenom-ii", scale=0.05, configs=("swnt",))
+        b = run_all("gcc", "amd-phenom-ii", 0.05, configs=("swnt",))
         assert a["swnt"].cycles == b["swnt"].cycles
         assert a["swnt"].dram_fills == b["swnt"].dram_fills
