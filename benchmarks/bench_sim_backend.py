@@ -1,0 +1,111 @@
+"""Speedup benchmark: fast cache-simulation backend vs the reference.
+
+Times the functional simulator over a synthetic 500k-event mixed trace
+(streaming + hot working set + random, the paper suite's access-pattern
+archetypes) on the AMD Phenom II cache levels, under both backends, and
+asserts they produce bit-identical results.  The L1 row is the headline:
+the functional simulator's production users (Table I coverage, StatStack
+validation) run it on L1-sized caches over the full demand stream.
+
+The artifact goes to ``benchmarks/results/sim_backend_speedup.txt``.
+``REPRO_BENCH_SIM_EVENTS`` shrinks the trace (CI smoke uses 100k); the
+>=5x L1 speedup gate only applies at full scale, where it was measured.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.cachesim import CacheHierarchy, FunctionalCacheSim
+from repro.config import get_machine
+from repro.experiments.tables import render_table
+from repro.trace import MemoryTrace
+
+EVENTS = int(os.environ.get("REPRO_BENCH_SIM_EVENTS", "500000"))
+MACHINE = "amd-phenom-ii"
+
+
+def _mixed_trace(n: int) -> MemoryTrace:
+    rng = np.random.default_rng(42)
+    stream = (np.arange(n) * 64) % (8 << 20)
+    hot = rng.integers(0, 64 << 10, n) & ~63
+    rand = rng.integers(0, 32 << 20, n) & ~63
+    pick = rng.random(n)
+    addr = np.where(pick < 0.5, stream, np.where(pick < 0.85, hot, rand))
+    pc = rng.integers(0, 512, n)
+    return MemoryTrace(pc, addr.astype(np.int64), np.zeros(n, np.int64))
+
+
+def _time_functional(config, trace, backend):
+    best, stats = float("inf"), None
+    for _ in range(3):
+        sim = FunctionalCacheSim(config, backend=backend)
+        t0 = time.perf_counter()
+        stats = sim.run(trace)
+        best = min(best, time.perf_counter() - t0)
+    return best, stats, sim
+
+
+def _run_backend_comparison():
+    machine = get_machine(MACHINE)
+    trace = _mixed_trace(EVENTS)
+    rows = []
+    speedups = {}
+    for config in (machine.l1, machine.l2, machine.llc):
+        t_ref, s_ref, sim_ref = _time_functional(config, trace, "reference")
+        t_fast, s_fast, sim_fast = _time_functional(config, trace, "fast")
+        assert np.array_equal(sim_ref.last_miss, sim_fast.last_miss)
+        assert s_ref.accesses == s_fast.accesses
+        assert s_ref.misses == s_fast.misses
+        speedups[config.name] = t_ref / t_fast
+        rows.append(
+            (
+                f"functional {config.name} ({config.ways}-way)",
+                f"{t_ref:.3f}s",
+                f"{t_fast:.3f}s",
+                f"{t_ref / t_fast:.1f}x",
+            )
+        )
+
+    # End-to-end hierarchy run under both backends, same parity contract.
+    from dataclasses import replace
+
+    times = {}
+    for backend in ("reference", "fast"):
+        m = replace(machine, sim_backend=backend)
+        best = float("inf")
+        for _ in range(2):
+            h = CacheHierarchy(m)
+            t0 = time.perf_counter()
+            stats = h.run(trace, work_per_memop=2.0, mlp=2.0)
+            best = min(best, time.perf_counter() - t0)
+        times[backend] = (best, stats)
+    assert times["reference"][1].cycles == times["fast"][1].cycles
+    rows.append(
+        (
+            "hierarchy L1+L2+LLC+timing",
+            f"{times['reference'][0]:.3f}s",
+            f"{times['fast'][0]:.3f}s",
+            f"{times['reference'][0] / times['fast'][0]:.1f}x",
+        )
+    )
+    return rows, speedups
+
+
+def test_sim_backend_speedup(benchmark, results_dir):
+    rows, speedups = benchmark.pedantic(
+        _run_backend_comparison, rounds=1, iterations=1
+    )
+    text = render_table(
+        ("simulation", "reference", "fast", "speedup"),
+        rows,
+        title=f"Fast cache-simulation backend — {MACHINE}, "
+        f"{EVENTS:,}-event mixed trace (bit-identical results)",
+    )
+    save_artifact(results_dir, "sim_backend_speedup.txt", text)
+    if EVENTS >= 500_000:
+        assert speedups["L1"] >= 5.0, f"L1 speedup regressed: {speedups['L1']:.1f}x"

@@ -222,10 +222,12 @@ def configure(
     strict: bool = True,
     trace: bool = False,
     deterministic_trace: bool = False,
+    sim_backend: str | None = None,
 ) -> "ExperimentEngine":
     """Install and return the process-wide default engine.
 
-    Parameters mirror :class:`ExperimentEngine`, plus observability:
+    Parameters mirror :class:`ExperimentEngine`, plus observability and
+    simulation knobs:
 
     trace:
         Enable the tracing/metrics layer (:mod:`repro.obs`) for this
@@ -235,10 +237,19 @@ def configure(
     deterministic_trace:
         Use the virtual clock so exported traces are byte-stable across
         runs (implies ``trace``).
+    sim_backend:
+        Cache-simulation backend for every simulator in this process
+        and the engine's workers: ``"reference"`` (dict-based oracle)
+        or ``"fast"`` (array-native, bit-identical; see
+        ``docs/performance.md``).  ``None`` leaves the current default
+        untouched.
     """
     from repro import obs
+    from repro.cachesim.backend import set_default_backend
     from repro.experiments import engine as _engine
 
+    if sim_backend is not None:
+        set_default_backend(sim_backend)
     if trace or deterministic_trace:
         obs.enable(deterministic=deterministic_trace)
     return _engine.configure(

@@ -1,6 +1,13 @@
 """Cache simulation substrate: LRU caches, hierarchies, bandwidth model."""
 
+from repro.cachesim.backend import (
+    BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.cachesim.bandwidth import BandwidthModel
+from repro.cachesim.fastlru import FastLRUCache
 from repro.cachesim.functional import FunctionalCacheSim, simulate_miss_ratios
 from repro.cachesim.hierarchy import CacheHierarchy
 from repro.cachesim.lru import (
@@ -14,14 +21,19 @@ from repro.cachesim.lru import (
 from repro.cachesim.stats import LevelStats, PCStats, RunStats
 
 __all__ = [
+    "BACKENDS",
     "BandwidthModel",
     "CacheHierarchy",
+    "FastLRUCache",
     "FunctionalCacheSim",
     "simulate_miss_ratios",
     "LRUCache",
     "LevelStats",
     "PCStats",
     "RunStats",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
     "FLAG_DIRTY",
     "FLAG_HW_PREFETCH",
     "FLAG_NTA",

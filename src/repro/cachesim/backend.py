@@ -1,0 +1,72 @@
+"""Simulation backend selection.
+
+Two interchangeable cache-simulation backends exist (see
+``docs/performance.md``):
+
+* ``"reference"`` — the original dict-based per-event simulators
+  (:class:`~repro.cachesim.lru.LRUCache` driven one access at a time).
+  Slow, simple, and the oracle the fast backend is verified against.
+* ``"fast"`` — the array-native backend
+  (:class:`~repro.cachesim.fastlru.FastLRUCache` batch kernel for the
+  functional simulator, plus the chunked demand path of
+  :class:`~repro.cachesim.hierarchy.CacheHierarchy`).  Bit-identical
+  statistics, several times faster.
+
+The choice is resolved per simulator from, in priority order:
+
+1. an explicit argument (``FunctionalCacheSim(cfg, backend="fast")``);
+2. the config object (``CacheConfig.backend`` /
+   ``MachineConfig.sim_backend``) when not ``None``;
+3. the process-wide default set by :func:`set_default_backend` — wired
+   to ``repro.api.configure(sim_backend=...)`` and the CLI's
+   ``--sim-backend`` flag, and shipped to engine worker processes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
+]
+
+#: Valid backend names.
+BACKENDS = ("reference", "fast")
+
+_DEFAULT: str = "reference"
+
+
+def validate_backend(name: str | None) -> None:
+    """Raise :class:`~repro.errors.ConfigError` for unknown backend names.
+
+    ``None`` is accepted and means "defer to the process default".
+    """
+    if name is not None and name not in BACKENDS:
+        raise ConfigError(f"unknown sim backend {name!r}; valid: {BACKENDS}")
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _DEFAULT
+    if name not in BACKENDS:
+        raise ConfigError(f"unknown sim backend {name!r}; valid: {BACKENDS}")
+    previous = _DEFAULT
+    _DEFAULT = name
+    return previous
+
+
+def get_default_backend() -> str:
+    """The process-wide default backend name."""
+    return _DEFAULT
+
+
+def resolve_backend(explicit: str | None = None) -> str:
+    """Resolve an optional explicit/config choice against the default."""
+    if explicit is None:
+        return _DEFAULT
+    if explicit not in BACKENDS:
+        raise ConfigError(f"unknown sim backend {explicit!r}; valid: {BACKENDS}")
+    return explicit

@@ -1,0 +1,511 @@
+"""Array-native exact set-associative LRU cache (the "fast" backend).
+
+:class:`FastLRUCache` keeps the whole cache state in three NumPy
+matrices of shape ``(num_sets, ways)``:
+
+* ``tags``  — resident line number per way (``-1`` = empty);
+* ``stamp`` — monotone access timestamp per way (``-1`` = empty), so the
+  LRU victim of a set is simply ``argmin(stamp)`` over the row and
+  empty ways are filled before anything is evicted;
+* ``flags`` — the same per-line metadata bits as
+  :class:`~repro.cachesim.lru.LRUCache`.
+
+The scalar API (``lookup`` / ``install`` / ``invalidate`` …) mirrors the
+dict-based reference cache operation for operation, which is what the
+differential tests exercise.  The speed comes from
+:meth:`access_batch`: it simulates a whole *array* of accesses under the
+uniform "probe-and-promote, install on miss" semantics of the
+functional simulator in one call.
+
+Batch algorithm — set-wavefront
+-------------------------------
+
+Accesses to different sets are independent, and LRU order within a set
+depends only on the *relative* order of that set's accesses.  So the
+batch kernel groups the access stream by set (one stable ``argsort``)
+and then processes *rounds*: round ``r`` handles the ``r``-th access of
+every set simultaneously with a handful of vectorised operations
+(an equality matrix against the gathered tag rows for hit detection, a
+batched ``argmin`` over the stamp rows for eviction).  Timestamps are
+the original trace positions, which preserves per-set access order, so
+the result is bit-identical to the reference simulator — the
+differential suite (``tests/test_sim_backend_diff.py``) enforces this.
+
+A trace of ``n`` events over ``S`` populated sets costs ``O(n/S)``
+rounds of ``O(S·W)`` array work.  When too few sets remain active for
+array work to pay off (skewed traces, tiny test caches), the kernel
+finishes the tail with an optimised per-set dict loop and writes the
+state back — exactness is never traded for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+
+__all__ = ["FastLRUCache"]
+
+#: Tag value marking an empty way.
+EMPTY = -1
+
+#: Minimum number of concurrently active sets for a wavefront round to
+#: beat the scalar dict loop; below this the batch kernel switches to
+#: the per-set scalar tail.
+MIN_WAVEFRONT_SETS = 24
+
+
+class FastLRUCache:
+    """Exact set-associative LRU over NumPy state matrices.
+
+    Drop-in behavioural replacement for
+    :class:`~repro.cachesim.lru.LRUCache` (same hit/miss decisions, same
+    eviction victims, same flag semantics), plus the vectorised
+    :meth:`access_batch` used by the functional simulator's fast
+    backend.
+    """
+
+    __slots__ = ("config", "ways", "tags", "stamp", "flags", "_set_mask", "_clock")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.ways = config.ways
+        n_sets = config.num_sets
+        self.tags = np.full((n_sets, config.ways), EMPTY, dtype=np.int64)
+        self.stamp = np.full((n_sets, config.ways), EMPTY, dtype=np.int64)
+        self.flags = np.zeros((n_sets, config.ways), dtype=np.int64)
+        self._set_mask = n_sets - 1
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # scalar operations (reference-compatible)
+    # ------------------------------------------------------------------
+
+    def _find(self, line: int) -> tuple[int, int]:
+        """(set index, way index) of a resident line; way is -1 on miss."""
+        s = line & self._set_mask
+        hit = np.nonzero(self.tags[s] == line)[0]
+        return (s, int(hit[0])) if hit.size else (s, -1)
+
+    def lookup(self, line: int, set_flags: int = 0) -> bool:
+        """Probe for ``line``; on hit, refresh LRU and OR in ``set_flags``."""
+        s, w = self._find(line)
+        if w < 0:
+            return False
+        self.stamp[s, w] = self._clock
+        self._clock += 1
+        if set_flags:
+            self.flags[s, w] |= set_flags
+        return True
+
+    def touch_flags(self, line: int, set_flags: int) -> bool:
+        """OR flags into a resident line *without* refreshing LRU order."""
+        s, w = self._find(line)
+        if w < 0:
+            return False
+        self.flags[s, w] |= set_flags
+        return True
+
+    def install(self, line: int, flags: int = 0) -> tuple[int, int] | None:
+        """Insert ``line`` as most-recently-used.
+
+        Same contract as the reference cache: a resident line has its
+        flags OR-merged and LRU refreshed; otherwise the least recently
+        stamped way is (re)used and the evicted ``(line, flags)`` pair
+        is returned when a valid line was displaced.
+        """
+        s, w = self._find(line)
+        if w >= 0:
+            self.flags[s, w] |= flags
+            self.stamp[s, w] = self._clock
+            self._clock += 1
+            return None
+        w = int(self.stamp[s].argmin())
+        victim = None
+        if self.tags[s, w] != EMPTY:
+            victim = (int(self.tags[s, w]), int(self.flags[s, w]))
+        self.tags[s, w] = line
+        self.flags[s, w] = flags
+        self.stamp[s, w] = self._clock
+        self._clock += 1
+        return victim
+
+    def contains(self, line: int) -> bool:
+        """Non-updating residency probe."""
+        return self._find(line)[1] >= 0
+
+    def peek_flags(self, line: int) -> int | None:
+        """Flags of a resident line, or None (no LRU update)."""
+        s, w = self._find(line)
+        return int(self.flags[s, w]) if w >= 0 else None
+
+    def invalidate(self, line: int) -> int | None:
+        """Remove ``line``; returns its flags if it was resident."""
+        s, w = self._find(line)
+        if w < 0:
+            return None
+        flags = int(self.flags[s, w])
+        self.tags[s, w] = EMPTY
+        self.stamp[s, w] = EMPTY
+        self.flags[s, w] = 0
+        return flags
+
+    # ------------------------------------------------------------------
+    # batch kernel
+    # ------------------------------------------------------------------
+
+    def access_batch(
+        self, lines: np.ndarray, collect_victims: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate an ordered stream of accesses in one call.
+
+        Every access probes its set; a hit promotes the line to MRU, a
+        miss installs it (evicting the LRU way of a full set).  This is
+        the access semantics of the functional simulator for both
+        demand and (post prefetch-recency fix) prefetch events.
+
+        Returns ``(miss, victims)``: a boolean per-access miss vector
+        and, when ``collect_victims``, the evicted line numbers in
+        program order (empty array otherwise).
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = len(lines)
+        miss = np.zeros(n, dtype=bool)
+        if n == 0:
+            return miss, np.empty(0, dtype=np.int64)
+        sets = lines & self._set_mask
+        if self.ways == 1:
+            return self._access_batch_direct(lines, sets, miss, collect_victims)
+        if self.ways == 2:
+            return self._access_batch_2way(lines, sets, miss, collect_victims)
+        # Set indices fit in 16 bits for every realistic geometry; the
+        # narrower key radix-sorts in half the passes.
+        key = sets.astype(np.uint16) if self._set_mask < (1 << 16) else sets
+        order = np.argsort(key, kind="stable")
+        sorted_sets = sets[order]
+        uniq, start, counts = np.unique(
+            sorted_sets, return_index=True, return_counts=True
+        )
+        clock = self._clock
+        vic_pos: list[np.ndarray] = []
+        vic_line: list[np.ndarray] = []
+
+        # Touched sets become *columns*, ordered by access count
+        # descending, so the sets still active at round ``r`` are always
+        # a prefix — every per-round operand is a contiguous slice.
+        n_groups = len(uniq)
+        gorder = np.argsort(-counts, kind="stable")
+        uniq_d = uniq[gorder]
+        start_d = start[gorder]
+        counts_d = counts[gorder]
+        max_rounds = int(counts_d[0])
+        # Active-column count per round: counts_d > r, prefix length.
+        ks = np.searchsorted(-counts_d, -np.arange(1, max_rounds + 1), side="right")
+        # Per-event round number and column, in sorted-by-set order.
+        ranks = np.arange(n) - np.repeat(start, counts)
+        inv = np.empty(n_groups, dtype=np.int64)
+        inv[gorder] = np.arange(n_groups)
+        col_sorted = np.repeat(inv, counts)
+
+        # Working copy of the touched sets' state, in column order, so
+        # round bodies index it directly instead of gathering rows.
+        wtags = self.tags[uniq_d]
+        wstamp = self.stamp[uniq_d]
+
+        r_stop = 0
+        band = 256
+        while r_stop < max_rounds:
+            k0 = int(ks[r_stop])
+            if k0 < MIN_WAVEFRONT_SETS:
+                break
+            depth = min(band, max_rounds - r_stop)
+            in_band = (ranks >= r_stop) & (ranks < r_stop + depth)
+            rows = ranks[in_band] - r_stop
+            cols = col_sorted[in_band]
+            pos_band = order[in_band]
+            posm = np.full((depth, k0), -1, dtype=np.int64)
+            linesm = np.empty((depth, k0), dtype=np.int64)
+            hitm = np.zeros((depth, k0), dtype=bool)
+            posm[rows, cols] = pos_band
+            linesm[rows, cols] = lines[pos_band]
+            stampm = posm + clock
+            ar = np.arange(k0)
+            for r, k in enumerate(ks[r_stop:r_stop + depth].tolist()):
+                line_r = linesm[r, :k]
+                eq = wtags[:k] == line_r[:, None]
+                way = eq.argmax(axis=1)
+                hit = eq[ar[:k], way]
+                vway = wstamp[:k].argmin(axis=1)
+                fway = np.where(hit, way, vway)
+                if collect_victims:
+                    displaced = wtags[ar[:k], fway]
+                    evict = ~hit & (displaced != EMPTY)
+                    if evict.any():
+                        vic_pos.append(posm[r, :k][evict])
+                        vic_line.append(displaced[evict])
+                # On a hit the selected way already holds the line, so
+                # the tag write is an unconditional no-op there.
+                wtags[ar[:k], fway] = line_r
+                wstamp[ar[:k], fway] = stampm[r, :k]
+                hitm[r, :k] = hit
+            miss[pos_band] = ~hitm[rows, cols]
+            r_stop += depth
+
+        self.tags[uniq_d] = wtags
+        self.stamp[uniq_d] = wstamp
+        if r_stop < max_rounds:
+            self._scalar_tail(
+                lines, order, uniq_d, start_d, counts_d, r_stop, clock, miss,
+                vic_pos if collect_victims else None, vic_line,
+            )
+
+        self._clock = clock + n
+        if not collect_victims or not vic_pos:
+            return miss, np.empty(0, dtype=np.int64)
+        pos_all = np.concatenate(vic_pos)
+        line_all = np.concatenate(vic_line)
+        return miss, line_all[np.argsort(pos_all, kind="stable")]
+
+    def _access_batch_direct(
+        self,
+        lines: np.ndarray,
+        sets: np.ndarray,
+        miss: np.ndarray,
+        collect_victims: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Round-free batch path for direct-mapped caches (``ways == 1``).
+
+        With one way per set an access hits iff the previous access to
+        its set (or the pre-batch resident, for the first one) carried
+        the same line, so the whole batch reduces to a grouped
+        shift-and-compare with no sequential rounds at all.
+        """
+        n = len(lines)
+        key = sets.astype(np.uint16) if self._set_mask < (1 << 16) else sets
+        order = np.argsort(key, kind="stable")
+        ss = sets[order]
+        ls = lines[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(ss[1:], ss[:-1], out=first[1:])
+        prev_line = np.empty(n, dtype=np.int64)
+        prev_line[1:] = ls[:-1]
+        prev_line[first] = self.tags[ss[first], 0]
+        hit = ls == prev_line
+        miss[order] = ~hit
+        victims = np.empty(0, dtype=np.int64)
+        if collect_victims:
+            evict = ~hit & (prev_line != EMPTY)
+            vpos = order[evict]
+            victims = prev_line[evict][np.argsort(vpos, kind="stable")]
+        last = np.empty(n, dtype=bool)
+        last[:-1] = first[1:]
+        last[-1] = True
+        self.tags[ss[last], 0] = ls[last]
+        self.stamp[ss[last], 0] = self._clock + order[last]
+        self._clock += n
+        return miss, victims
+
+    def _access_batch_2way(
+        self,
+        lines: np.ndarray,
+        sets: np.ndarray,
+        miss: np.ndarray,
+        collect_victims: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Round-free batch path for 2-way caches (the AMD L1 geometry).
+
+        With two ways and promote-on-hit LRU, the state of a set before
+        access ``i`` of its subsequence is fully determined by the line
+        stream: the MRU line is the previous access's line, and the LRU
+        line is the most recent *differing* line (or the pre-batch
+        residents near the front of the subsequence).  Run boundaries
+        (``maximum.accumulate`` over change points) give the "most
+        recent differing line" for every access at once, so the whole
+        batch collapses to ~30 O(n) vector passes — no rounds.
+        """
+        n = len(lines)
+        key = sets.astype(np.uint16) if self._set_mask < (1 << 16) else sets
+        order = np.argsort(key, kind="stable")
+        ss = sets[order]
+        ls = lines[order]
+        idx = np.arange(n)
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(ss[1:], ss[:-1], out=first[1:])
+        ls_prev = np.empty(n, dtype=np.int64)
+        ls_prev[0] = EMPTY
+        ls_prev[1:] = ls[:-1]
+        # Group starts and line-run starts, per sorted position.
+        gs = np.maximum.accumulate(np.where(first, idx, 0))
+        change = first | (ls != ls_prev)
+        rs = np.maximum.accumulate(np.where(change, idx, 0))
+
+        # Pre-batch (MRU, LRU) residents of every touched set, spread to
+        # per-access arrays through the group-start index.
+        sets_f = ss[first]
+        t0 = self.tags[sets_f, 0]
+        t1 = self.tags[sets_f, 1]
+        s0 = self.stamp[sets_f, 0]
+        s1 = self.stamp[sets_f, 1]
+        one_is_mru = s1 > s0
+        mru0 = np.where(one_is_mru, t1, t0)
+        lru0 = np.where(one_is_mru, t0, t1)
+        # LRU resident after the group's *first* access: a hit on the
+        # old MRU leaves the old LRU in place; anything else (hit on the
+        # old LRU, or a miss evicting / filling past it) demotes the old
+        # MRU.
+        l0 = ls[first]
+        pre_lru = np.where(l0 == mru0, lru0, mru0)
+        spread = np.empty(n, dtype=np.int64)
+        spread[first] = pre_lru
+        pre_lru_acc = spread[gs]
+
+        # State before access i: MRU = previous access's line, LRU = the
+        # line of the run preceding i-1's run (i.e. the most recent line
+        # that differs from the MRU), falling back to the pre-batch
+        # residents when the whole group prefix is one run.
+        rs_prev = np.empty(n, dtype=np.int64)
+        rs_prev[0] = 0
+        rs_prev[1:] = rs[:-1]
+        has_diff = rs_prev > gs
+        last_diff = ls[np.maximum(rs_prev - 1, 0)]
+        mru_b = ls_prev.copy()
+        mru_b[first] = mru0
+        lru_b = np.where(has_diff, last_diff, pre_lru_acc)
+        lru_b[first] = lru0
+        hit = (ls == mru_b) | (ls == lru_b)
+        miss[order] = ~hit
+        victims = np.empty(0, dtype=np.int64)
+        if collect_victims:
+            # A miss evicts the LRU resident (when the set is full): for
+            # a full 2-way set that is exactly ``lru_b``.
+            evict = ~hit & (lru_b != EMPTY) & (mru_b != EMPTY)
+            vpos = order[evict]
+            victims = lru_b[evict][np.argsort(vpos, kind="stable")]
+
+        # Write back the final state of every touched set.
+        last = np.empty(n, dtype=bool)
+        last[:-1] = first[1:]
+        last[-1] = True
+        e = idx[last]
+        sets_l = ss[last]
+        mru_f = ls[last]
+        rs_l = rs[last]
+        has_diff_f = rs_l > gs[last]
+        q_e = np.maximum(rs_l - 1, 0)
+        lru_f = np.where(has_diff_f, ls[q_e], pre_lru)
+        old_lru_stamp = np.where(l0 == mru0, np.minimum(s0, s1), np.maximum(s0, s1))
+        clock = self._clock
+        lru_f_stamp = np.where(has_diff_f, clock + order[q_e], old_lru_stamp)
+        self.tags[sets_l, 0] = mru_f
+        self.stamp[sets_l, 0] = clock + order[e]
+        self.tags[sets_l, 1] = lru_f
+        self.stamp[sets_l, 1] = lru_f_stamp
+        self._clock = clock + n
+        return miss, victims
+
+    def _scalar_tail(
+        self,
+        lines: np.ndarray,
+        order: np.ndarray,
+        uniq: np.ndarray,
+        start: np.ndarray,
+        counts: np.ndarray,
+        r: int,
+        clock: int,
+        miss: np.ndarray,
+        vic_pos: list[np.ndarray] | None,
+        vic_line: list[np.ndarray],
+    ) -> None:
+        """Finish a batch set by set with dict-based LRU.
+
+        Used when fewer than :data:`MIN_WAVEFRONT_SETS` sets are still
+        active: each remaining set's state is lifted into an
+        insertion-ordered dict (LRU → MRU), its remaining accesses are
+        replayed with O(1) dict operations, and the result is written
+        back into the state matrices.
+        """
+        ways = self.ways
+        tags, stamp = self.tags, self.stamp
+        for gi in np.nonzero(counts > r)[0].tolist():
+            s = int(uniq[gi])
+            row_tags = tags[s]
+            row_stamp = stamp[s]
+            resident: dict[int, int] = {}
+            for w in np.argsort(row_stamp, kind="stable").tolist():
+                if row_tags[w] != EMPTY:
+                    resident[int(row_tags[w])] = int(row_stamp[w])
+            positions = order[start[gi] + r : start[gi] + counts[gi]].tolist()
+            t_pos: list[int] = []
+            t_line: list[int] = []
+            for p in positions:
+                line = int(lines[p])
+                if line in resident:
+                    del resident[line]
+                else:
+                    miss[p] = True
+                    if len(resident) >= ways:
+                        victim = next(iter(resident))
+                        del resident[victim]
+                        if vic_pos is not None:
+                            t_pos.append(p)
+                            t_line.append(victim)
+                resident[line] = clock + p
+            row_tags[:] = EMPTY
+            row_stamp[:] = EMPTY
+            for w, (line, st) in enumerate(resident.items()):
+                row_tags[w] = line
+                row_stamp[w] = st
+            if vic_pos is not None and t_pos:
+                vic_pos.append(np.asarray(t_pos, dtype=np.int64))
+                vic_line.append(np.asarray(t_line, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self.tags != EMPTY))
+
+    def resident_lines(self) -> Iterator[int]:
+        """Iterate all resident line numbers (LRU→MRU within each set)."""
+        for s in range(self.tags.shape[0]):
+            row_tags = self.tags[s]
+            for w in np.argsort(self.stamp[s], kind="stable").tolist():
+                if row_tags[w] != EMPTY:
+                    yield int(row_tags[w])
+
+    def occupancy(self) -> float:
+        """Fraction of capacity currently filled."""
+        return len(self) / self.config.num_lines
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of lines dropped."""
+        dropped = len(self)
+        self.tags.fill(EMPTY)
+        self.stamp.fill(EMPTY)
+        self.flags.fill(0)
+        self._clock = 0
+        return dropped
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants (test helper)."""
+        for s in range(self.tags.shape[0]):
+            row = self.tags[s]
+            valid = row != EMPTY
+            if (self.stamp[s][valid] < 0).any() or (
+                self.stamp[s][~valid] != EMPTY
+            ).any():
+                raise SimulationError(f"set {s} has inconsistent stamps")
+            resident = row[valid]
+            if len(np.unique(resident)) != len(resident):
+                raise SimulationError(f"set {s} holds a duplicate line")
+            if ((resident & self._set_mask) != s).any():
+                raise SimulationError(f"set {s} holds a line of another set")
+            stamps = self.stamp[s][valid]
+            if len(np.unique(stamps)) != len(stamps):
+                raise SimulationError(f"set {s} has duplicate LRU stamps")

@@ -28,6 +28,7 @@ all three levels takes on the order of a second.
 from __future__ import annotations
 
 from repro import obs
+from repro.cachesim.backend import resolve_backend
 from repro.cachesim.bandwidth import BandwidthModel
 from repro.cachesim.lru import (
     FLAG_DIRTY,
@@ -121,10 +122,21 @@ class CacheHierarchy:
             raise SimulationError("work_per_memop must be non-negative")
         if stats is None:
             stats = RunStats(line_bytes=self.machine.line_bytes)
+        backend = resolve_backend(self.machine.sim_backend)
         with obs.span(
-            "cachesim.run", machine=self.machine.name, events=len(trace)
+            "cachesim.run",
+            machine=self.machine.name,
+            events=len(trace),
+            backend=backend,
         ) as run_span:
-            self._run_events(trace, work_per_memop, mlp, stats)
+            if backend == "fast":
+                self._run_events_fast(trace, work_per_memop, mlp, stats)
+            else:
+                self._run_events(trace, work_per_memop, mlp, stats)
+            if obs.enabled():
+                obs.metrics().counter(f"sim.hierarchy.events.{backend}").inc(
+                    len(trace)
+                )
             run_span.set(cycles=stats.cycles)
         return stats
 
@@ -162,6 +174,111 @@ class CacheHierarchy:
                 n_prefetch += 1
                 self._sw_prefetch(line, op == nta_op, stats)
 
+        stats.instructions += int(n_demand * (1.0 + work_per_memop)) + n_prefetch
+        stats.cycles = self.now
+
+    def _run_events_fast(
+        self,
+        trace: MemoryTrace,
+        work_per_memop: float,
+        mlp: float,
+        stats: RunStats,
+    ) -> None:
+        """Chunked fast event loop (``sim_backend="fast"``).
+
+        The trace is staged chunk by chunk into plain Python lists (one
+        vectorised line-number conversion, no per-event NumPy scalar
+        extraction) and the dominant L1 demand path is inlined against
+        the set dicts with every attribute hoisted into locals.  Only
+        the rare events — L1 misses, software prefetches, NT stores and
+        hardware-prefetcher observation — fall back to the exact same
+        methods the reference loop uses, with ``self.now`` synced around
+        the call, so timing and statistics stay bit-identical (enforced
+        by ``tests/test_sim_backend_diff.py``).
+        """
+        shift = self._line_shift
+        demand_cost = (
+            self.machine.cycles_per_memop + self.machine.cpi_base * work_per_memop
+        )
+        store_op = int(MemOp.STORE)
+        nta_op = int(MemOp.PREFETCH_NTA)
+        store_nt_op = int(MemOp.STORE_NT)
+        lines_arr = trace.addr >> shift
+
+        l1_sets = self.l1._sets
+        l1_mask = self.l1._set_mask
+        inflight = self._inflight
+        null_pf = isinstance(self.prefetcher, NullPrefetcher)
+        hw_observe = self._hw_observe
+        demand_miss = self._demand_miss
+        pc_acc = stats.pc_l1.accesses
+        pc_miss = stats.pc_l1.misses
+        ref_flag = FLAG_REFERENCED
+        dirty_flag = FLAG_DIRTY
+        sw_flag = FLAG_SW_PREFETCH
+
+        n_demand = 0
+        n_prefetch = 0
+        l1_accesses = 0
+        l1_misses = 0
+        sw_useful = 0
+        sw_late = 0
+        now = self.now
+        chunk = 1 << 16
+        for start in range(0, len(trace), chunk):
+            end = start + chunk
+            ops_c = trace.op[start:end].tolist()
+            pcs_c = trace.pc[start:end].tolist()
+            lines_c = lines_arr[start:end].tolist()
+            addrs_c = trace.addr[start:end].tolist() if not null_pf else None
+            for j, op in enumerate(ops_c):
+                line = lines_c[j]
+                if op <= store_op:
+                    n_demand += 1
+                    now += demand_cost
+                    l1_accesses += 1
+                    pc = pcs_c[j]
+                    write_flag = dirty_flag if op == store_op else 0
+                    s = l1_sets[line & l1_mask]
+                    flags = s.pop(line, None)
+                    if flags is not None:
+                        if inflight:
+                            completion = inflight.pop(line, None)
+                            if completion is not None and completion > now:
+                                now += (completion - now) / mlp
+                                sw_late += 1
+                        if flags & sw_flag and not flags & ref_flag:
+                            sw_useful += 1
+                        s[line] = flags | ref_flag | write_flag
+                        pc_acc[pc] = pc_acc.get(pc, 0) + 1
+                        if not null_pf:
+                            self.now = now
+                            hw_observe(pc, addrs_c[j], line, True, stats)
+                    else:
+                        l1_misses += 1
+                        pc_acc[pc] = pc_acc.get(pc, 0) + 1
+                        pc_miss[pc] = pc_miss.get(pc, 0) + 1
+                        self.now = now
+                        if not null_pf:
+                            hw_observe(pc, addrs_c[j], line, False, stats)
+                        demand_miss(line, write_flag, mlp, stats)
+                        now = self.now
+                elif op == store_nt_op:
+                    n_demand += 1
+                    self.now = now
+                    self._nt_store(pcs_c[j], line, demand_cost, stats)
+                    now = self.now
+                else:
+                    n_prefetch += 1
+                    self.now = now
+                    self._sw_prefetch(line, op == nta_op, stats)
+                    now = self.now
+
+        self.now = now
+        stats.l1.accesses += l1_accesses
+        stats.l1.misses += l1_misses
+        stats.sw_useful += sw_useful
+        stats.sw_late += sw_late
         stats.instructions += int(n_demand * (1.0 + work_per_memop)) + n_prefetch
         stats.cycles = self.now
 
@@ -223,7 +340,21 @@ class CacheHierarchy:
         stats.l1.misses += 1
         stats.pc_l1.record(pc, True)
         self._hw_observe(pc, addr, line, False, stats)
+        self._demand_miss(line, write_flag, mlp, stats)
 
+    def _demand_miss(
+        self,
+        line: int,
+        write_flag: int,
+        mlp: float,
+        stats: RunStats,
+    ) -> None:
+        """Service an L1 miss from L2, the LLC or DRAM.
+
+        Shared by both backends: the fast event loop inlines only the
+        L1 probe and delegates every miss here, so the two paths cannot
+        drift apart below the L1.
+        """
         stats.l2.accesses += 1
         l2_flags = self.l2.peek_flags(line)
         if l2_flags is not None:

@@ -19,6 +19,11 @@ content-addressed on-disk cache (default ``./.repro-cache`` or
 ``$REPRO_CACHE_DIR``), so regenerating a figure a second time performs
 zero re-simulations.  A per-run cell/cache summary is printed to stderr.
 
+Simulation backend: ``--sim-backend fast`` switches ``simulate`` and
+``experiment`` to the array-native cache simulators (bit-identical to
+the default ``reference`` backend, several times faster; see
+``docs/performance.md``).
+
 Fault tolerance: ``--retries N`` retries failing cells, ``--cell-timeout
 SECONDS`` bounds each dispatched cell group, and ``--best-effort`` keeps
 a run alive past permanent cell failures — surviving cells are rendered,
@@ -115,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="deadline per dispatched cell group (parallel runs only; "
             "default unbounded)",
         )
+        p.add_argument(
+            "--sim-backend",
+            default=None,
+            choices=("reference", "fast"),
+            help="cache-simulation backend: 'reference' (dict-based oracle) "
+            "or 'fast' (array-native, bit-identical; see docs/performance.md)",
+        )
         mode = p.add_mutually_exclusive_group()
         mode.add_argument(
             "--strict",
@@ -193,6 +205,7 @@ def _configure_engine(args: argparse.Namespace):
         progress=True,
         retry=retry,
         strict=args.strict,
+        sim_backend=args.sim_backend,
     )
 
 

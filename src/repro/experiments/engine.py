@@ -60,6 +60,7 @@ from typing import Callable, Iterable, Sequence
 from repro import faults, obs
 from repro.api import CONFIGS, ExperimentSpec
 from repro.cache import ResultCache, default_cache_dir
+from repro.cachesim.backend import get_default_backend
 from repro.cachesim.stats import RunStats
 from repro.errors import CellFailure, EngineError
 from repro.experiments import runner
@@ -240,6 +241,7 @@ def _compute_group(
     specs: tuple[ExperimentSpec, ...],
     trace: bool = False,
     deterministic: bool = False,
+    sim_backend: str | None = None,
 ) -> tuple[list[tuple[ExperimentSpec, RunStats]], list[dict], dict]:
     """Worker entry point: simulate one profile-sharing group of cells.
 
@@ -247,9 +249,15 @@ def _compute_group(
     shared profiling pass and plans compute once per group.  When the
     parent traces, the worker traces too and ships its finished spans
     and metrics snapshot back alongside the results — the parent ingests
-    them so one Chrome trace shows every process's track.
+    them so one Chrome trace shows every process's track.  The parent's
+    simulation-backend choice ships the same way (spawn-based pools
+    don't inherit it).
     """
     faults.mark_worker()
+    if sim_backend is not None:
+        from repro.cachesim.backend import set_default_backend
+
+        set_default_backend(sim_backend)
     if trace:
         tracer = obs.enable(deterministic=deterministic)
         tracer.clear()  # drop spans inherited from the parent via fork
@@ -538,6 +546,7 @@ class ExperimentEngine:
         deadline = self.retry.timeout
         tracing = obs.enabled()
         deterministic = tracing and obs.get_tracer().deterministic
+        sim_backend = get_default_backend()
         dispatch_span = obs.span(
             "engine.dispatch", groups=len(group_list), workers=workers
         )
@@ -549,7 +558,11 @@ class ExperimentEngine:
                     task.started = time.perf_counter()
                     pending[
                         pool.submit(
-                            _compute_group, task.specs, tracing, deterministic
+                            _compute_group,
+                            task.specs,
+                            tracing,
+                            deterministic,
+                            sim_backend,
                         )
                     ] = task
 

@@ -81,9 +81,13 @@ class GHBPrefetcher(HardwarePrefetcher):
         addrs = list(hist)
         deltas = [b - a for a, b in zip(addrs, addrs[1:])]
         key = (deltas[-2], deltas[-1])
-        # find the most recent earlier occurrence of the delta pair
+        # Find the most recent earlier occurrence of the delta pair.  The
+        # newest candidate is i = len(deltas) - 2, whose pair overlaps
+        # the key by one delta — exactly the match a constant stride
+        # produces first, so starting any lower detects streams one
+        # observation late.
         match = -1
-        for i in range(len(deltas) - 3, 0, -1):
+        for i in range(len(deltas) - 2, 0, -1):
             if (deltas[i - 1], deltas[i]) == key:
                 match = i
                 break

@@ -71,10 +71,18 @@ class MissRatioCurve:
         )
 
     def drop_between(self, small_bytes: int, large_bytes: int) -> float:
-        """Absolute miss-ratio drop from ``small`` to ``large`` size."""
+        """Absolute miss-ratio drop from ``small`` to ``large`` size.
+
+        Sampled curves can wiggle upward by a hair between sizes (the
+        "small statistical wiggles" tolerated above), which would make
+        the raw difference negative; a real LRU drop is never below
+        zero, so the result is clamped at 0 — otherwise a noisy-but-flat
+        curve could pass a ``drop > threshold`` test with the *sign* of
+        the comparison flipped at call sites that negate it.
+        """
         if large_bytes < small_bytes:
             raise ModelError("large_bytes must be >= small_bytes")
-        return self.at(small_bytes) - self.at(large_bytes)
+        return max(0.0, self.at(small_bytes) - self.at(large_bytes))
 
     def is_flat_between(
         self, small_bytes: int, large_bytes: int, tolerance: float = 0.05

@@ -50,6 +50,31 @@ class TestFunctionalSim:
         assert stats.accesses == {7: 2, 8: 1}
         assert stats.misses == {7: 1, 8: 1}
 
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_prefetch_hit_refreshes_recency(self, backend):
+        """Regression: a prefetch to a resident line must promote it.
+
+        Real hardware refreshes the LRU position of a line a prefetch
+        hits; the old code probed with ``contains`` and left the line in
+        LRU position, so coverage runs under-counted the misses a
+        prefetch plan removes.  One full 2-way set, lines A B C:
+
+            load A, load B, prefetch A, load C, load A
+
+        The prefetch promotes A, so C must evict B and the final load
+        of A must hit — 3 demand misses, not 4.
+        """
+        a, b, c = 0, 64, 128
+        t = MemoryTrace(
+            [0] * 5,
+            [a, b, a, c, a],
+            [MemOp.LOAD, MemOp.LOAD, MemOp.PREFETCH, MemOp.LOAD, MemOp.LOAD],
+        )
+        sim = FunctionalCacheSim(CacheConfig("T", 128, ways=2), backend=backend)
+        stats = sim.run(t, honor_prefetches=True)
+        assert stats.total_misses() == 3
+        assert not sim.last_miss[-1]  # the re-load of A hit
+
 
 class TestBandwidthModel:
     def test_uncontended_transfer_starts_immediately(self):

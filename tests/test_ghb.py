@@ -78,3 +78,31 @@ class TestDeltaCorrelation:
             GHBPrefetcher(history=2)
         with pytest.raises(ValueError):
             GHBPrefetcher(degree=0)
+
+    def test_constant_stride_detected_at_fourth_access(self):
+        """Regression: the pair search must include the overlapping pair.
+
+        With four addresses the history holds three deltas; for a
+        constant stride the newest candidate pair — overlapping the key
+        by one delta — is the *only* match.  The old search started one
+        position too low, skipped it, and detected every stream exactly
+        one observation late.
+        """
+        pf = GHBPrefetcher()
+        fired = []
+        for i in range(4):
+            fired = pf.observe(0, i * 64, i, False)
+        assert [r.line for r in fired] == [4]  # 4 * 64 = the next line
+
+    def test_period_two_delta_pattern_exact_replay(self):
+        # +64,+192 alternation: the key pair first re-occurs at the 5th
+        # access, and replaying the delta after the match must predict
+        # the next address of the pattern, not a constant stride.
+        pf = GHBPrefetcher(degree=1)
+        addrs = [0, 64, 256, 320, 512]
+        fired = []
+        for i, addr in enumerate(addrs):
+            fired = pf.observe(0, addr, addr // 64, False)
+            if i == 3:
+                assert fired == []  # pattern not seen twice yet
+        assert [r.line for r in fired] == [(512 + 64) // 64]

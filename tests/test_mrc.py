@@ -29,6 +29,20 @@ class TestMissRatioCurve:
         with pytest.raises(ModelError):
             c.drop_between(4096, 1024)
 
+    def test_noisy_upward_wiggle_clamps_to_zero(self):
+        """Regression: sampling noise must not produce a negative drop.
+
+        A sampled curve may tick *up* a hair between sizes; the drop is
+        a physical quantity (misses removed by growing the cache) and
+        must clamp at zero, so downstream arithmetic — e.g. ranking
+        instructions by drop — cannot see a "negative benefit".
+        """
+        noisy = curve([1024, 16384, 65536], [0.300, 0.304, 0.301])
+        assert noisy.drop_between(1024, 16384) == 0.0
+        assert noisy.drop_between(1024, 65536) == 0.0
+        # and the bypass decision on such a noisy-but-flat curve: flat.
+        assert noisy.is_flat_between(1024, 65536, tolerance=0.05)
+
     def test_flatness_is_relative(self):
         # 40% -> 38%: relatively flat; 2% -> 0%: not flat
         high = curve([1024, 16384], [0.40, 0.38])

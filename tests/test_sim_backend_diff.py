@@ -1,0 +1,227 @@
+"""Differential tests: fast simulation backend vs the dict-based oracle.
+
+The fast backend's contract is *bit-identity*: same miss vectors, same
+PCStats, same eviction victims, same RunStats (including float cycle
+counts) as the reference simulator, on any trace.  These tests enforce
+the contract over seeded random traces across associativities and both
+prefetch-handling modes, plus the backend-selection plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cachesim import CacheHierarchy, FunctionalCacheSim
+from repro.cachesim.backend import (
+    BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.cachesim.fastlru import FastLRUCache
+from repro.cachesim.lru import FLAG_DIRTY, FLAG_NTA, LRUCache
+from repro.config import CacheConfig, MachineConfig
+from repro.errors import ConfigError
+from repro.hwpref import GHBPrefetcher, PCStridePrefetcher
+from repro.trace import MemOp, MemoryTrace
+
+
+def random_trace(rng, n, footprint_lines, prefetch_share=0.0, all_ops=False):
+    """Seeded mixed trace: streaming + hot-set + random addresses."""
+    stream = (np.arange(n) % footprint_lines) * 64
+    hot = rng.integers(0, max(2, footprint_lines // 16), n) * 64
+    rand = rng.integers(0, footprint_lines * 4, n) * 64
+    pick = rng.random(n)
+    addr = np.where(pick < 0.4, stream, np.where(pick < 0.8, hot, rand))
+    pc = rng.integers(0, 32, n)
+    op = np.zeros(n, dtype=np.int64)
+    if all_ops:
+        roll = rng.random(n)
+        op[roll < 0.25] = int(MemOp.STORE)
+        op[(roll >= 0.25) & (roll < 0.30)] = int(MemOp.PREFETCH)
+        op[(roll >= 0.30) & (roll < 0.34)] = int(MemOp.PREFETCH_NTA)
+        op[(roll >= 0.34) & (roll < 0.38)] = int(MemOp.STORE_NT)
+    elif prefetch_share:
+        op[rng.random(n) < prefetch_share] = int(MemOp.PREFETCH)
+    return MemoryTrace(pc, addr, op)
+
+
+def run_functional(backend, config, trace, honor):
+    sim = FunctionalCacheSim(config, backend=backend)
+    stats = sim.run(trace, honor_prefetches=honor, collect_victims=True)
+    return stats, sim.last_miss, sim.last_victims
+
+
+class TestFunctionalDifferential:
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    @pytest.mark.parametrize("honor", [False, True])
+    def test_miss_vectors_pcstats_and_victims_identical(self, rng, ways, honor):
+        config = CacheConfig("T", 64 * 64 * ways, ways=ways, line_bytes=64)
+        for trial in range(3):
+            trace = random_trace(rng, 3000 + trial * 997, 256, prefetch_share=0.2)
+            ref, ref_miss, ref_vic = run_functional("reference", config, trace, honor)
+            fast, fast_miss, fast_vic = run_functional("fast", config, trace, honor)
+            assert np.array_equal(ref_miss, fast_miss)
+            assert np.array_equal(ref_vic, fast_vic)
+            assert ref.accesses == fast.accesses
+            assert ref.misses == fast.misses
+
+    def test_single_set_scalar_tail(self, rng):
+        # Every access lands in one set: the wavefront kernel has no
+        # cross-set parallelism and must fall back to the scalar tail.
+        config = CacheConfig("T", 4 * 64, ways=4, line_bytes=64)
+        trace = MemoryTrace(
+            np.zeros(2000, np.int64),
+            rng.integers(0, 12, 2000) * 64 * config.num_sets,
+            np.zeros(2000, np.int64),
+        )
+        ref, ref_miss, ref_vic = run_functional("reference", config, trace, False)
+        fast, fast_miss, fast_vic = run_functional("fast", config, trace, False)
+        assert np.array_equal(ref_miss, fast_miss)
+        assert np.array_equal(ref_vic, fast_vic)
+
+    def test_many_set_wavefront(self, rng):
+        # Uniform pressure over 1024 sets keeps the wavefront rounds
+        # wide from start to finish.
+        config = CacheConfig("T", 1024 * 4 * 64, ways=4, line_bytes=64)
+        trace = random_trace(rng, 20_000, 8192)
+        ref, ref_miss, ref_vic = run_functional("reference", config, trace, False)
+        fast, fast_miss, fast_vic = run_functional("fast", config, trace, False)
+        assert np.array_equal(ref_miss, fast_miss)
+        assert np.array_equal(ref_vic, fast_vic)
+        assert ref.total_misses() == fast.total_misses()
+
+    def test_state_carries_across_batches(self, rng):
+        config = CacheConfig("T", 32 * 64, ways=2, line_bytes=64)
+        ref_sim = FunctionalCacheSim(config, backend="reference")
+        fast_sim = FunctionalCacheSim(config, backend="fast")
+        for _ in range(4):
+            trace = random_trace(rng, 500, 64)
+            ref_sim.run(trace)
+            fast_sim.run(trace)
+            assert np.array_equal(ref_sim.last_miss, fast_sim.last_miss)
+        assert sorted(ref_sim.cache.resident_lines()) == sorted(
+            fast_sim.cache.resident_lines()
+        )
+
+
+class TestScalarAPIParity:
+    def test_random_op_sequence_matches_reference(self, rng):
+        config = CacheConfig("T", 16 * 64, ways=4, line_bytes=64)
+        ref = LRUCache(config)
+        fast = FastLRUCache(config)
+        for _ in range(3000):
+            line = int(rng.integers(0, 64))
+            op = int(rng.integers(0, 6))
+            if op == 0:
+                assert ref.lookup(line, FLAG_DIRTY) == fast.lookup(line, FLAG_DIRTY)
+            elif op == 1:
+                assert ref.install(line, FLAG_NTA) == fast.install(line, FLAG_NTA)
+            elif op == 2:
+                assert ref.contains(line) == fast.contains(line)
+            elif op == 3:
+                assert ref.peek_flags(line) == fast.peek_flags(line)
+            elif op == 4:
+                assert ref.touch_flags(line, FLAG_DIRTY) == fast.touch_flags(
+                    line, FLAG_DIRTY
+                )
+            else:
+                assert ref.invalidate(line) == fast.invalidate(line)
+        assert len(ref) == len(fast)
+        assert list(ref.resident_lines()) == list(fast.resident_lines())
+        fast.check_invariants()
+
+
+class TestHierarchyDifferential:
+    def _compare(self, machine, trace, prefetcher_factory=None, **run_kw):
+        results = {}
+        for backend in BACKENDS:
+            m = replace(machine, sim_backend=backend)
+            pf = prefetcher_factory() if prefetcher_factory else None
+            hier = CacheHierarchy(m, prefetcher=pf)
+            stats = hier.run(trace, **run_kw)
+            results[backend] = (stats, hier)
+        ref, ref_h = results["reference"]
+        fast, fast_h = results["fast"]
+        assert ref.cycles == fast.cycles  # bit-identical, not approx
+        assert ref.instructions == fast.instructions
+        assert (ref.l1, ref.l2, ref.llc) == (fast.l1, fast.l2, fast.llc)
+        assert ref.pc_l1.accesses == fast.pc_l1.accesses
+        assert ref.pc_l1.misses == fast.pc_l1.misses
+        for name in (
+            "sw_prefetches", "sw_useful", "sw_useless", "sw_late",
+            "hw_prefetches", "hw_useful", "hw_useless",
+            "dram_fills", "nta_fills", "dram_writebacks", "nt_store_writes",
+        ):
+            assert getattr(ref, name) == getattr(fast, name), name
+        assert ref_h.now == fast_h.now
+        assert ref_h._inflight == fast_h._inflight
+        for lvl in ("l1", "l2", "llc"):
+            assert sorted(getattr(ref_h, lvl).resident_lines()) == sorted(
+                getattr(fast_h, lvl).resident_lines()
+            )
+
+    def test_all_event_kinds(self, tiny_machine, rng):
+        trace = random_trace(rng, 6000, 512, all_ops=True)
+        self._compare(tiny_machine, trace, work_per_memop=3.0, mlp=2.0)
+
+    def test_with_hardware_prefetchers(self, tiny_machine, rng):
+        trace = random_trace(rng, 4000, 512, all_ops=True)
+        for factory in (PCStridePrefetcher, GHBPrefetcher):
+            self._compare(tiny_machine, trace, prefetcher_factory=factory)
+
+    def test_full_machine_model(self, amd, rng):
+        trace = random_trace(rng, 8000, 4096, all_ops=True)
+        self._compare(amd, trace, work_per_memop=8.0, mlp=4.0)
+
+
+class TestBackendSelection:
+    def test_default_is_reference(self):
+        assert get_default_backend() == "reference"
+        assert resolve_backend(None) == "reference"
+
+    def test_explicit_wins_over_config_and_default(self):
+        config = CacheConfig("T", 1024, ways=2, backend="reference")
+        sim = FunctionalCacheSim(config, backend="fast")
+        assert sim.backend == "fast"
+        assert isinstance(sim.cache, FastLRUCache)
+
+    def test_config_field_wins_over_default(self):
+        config = CacheConfig("T", 1024, ways=2, backend="fast")
+        assert FunctionalCacheSim(config).backend == "fast"
+
+    def test_process_default_applies(self):
+        previous = set_default_backend("fast")
+        try:
+            assert FunctionalCacheSim(CacheConfig("T", 1024, ways=2)).backend == "fast"
+        finally:
+            set_default_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_backend("turbo")
+        with pytest.raises(ConfigError):
+            set_default_backend("turbo")
+        with pytest.raises(ConfigError):
+            CacheConfig("T", 1024, ways=2, backend="turbo")
+        with pytest.raises(ConfigError):
+            FunctionalCacheSim(CacheConfig("T", 1024, ways=2), backend="turbo")
+
+    def test_machine_config_validates_backend(self, tiny_machine):
+        with pytest.raises(ConfigError):
+            replace(tiny_machine, sim_backend="turbo")
+        assert replace(tiny_machine, sim_backend="fast").sim_backend == "fast"
+
+    def test_api_configure_installs_default(self):
+        from repro import api
+
+        previous = get_default_backend()
+        try:
+            api.configure(sim_backend="fast")
+            assert get_default_backend() == "fast"
+        finally:
+            set_default_backend(previous)
+            api.reset_default_engine()
