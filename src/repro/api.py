@@ -51,6 +51,7 @@ __all__ = [
     "plan",
     "run",
     "run_many",
+    "validate",
     "configure",
     "current_engine",
     "reset_default_engine",
@@ -204,6 +205,30 @@ def run_many(
 ) -> dict[ExperimentSpec, "RunStats"]:
     """Run many cells through the (possibly parallel) experiment engine."""
     return (engine or current_engine()).run(specs)
+
+
+def validate(
+    corpus_seed: int = 0,
+    quick: bool = True,
+    fuzz_cases: int = 25,
+    run_self_test: bool = True,
+):
+    """Run the model-vs-simulation conformance harness.
+
+    Returns a :class:`repro.validate.ValidationReport`; ``report.passed``
+    is the overall verdict and ``report.to_dict()`` the JSON document the
+    ``repro validate`` CLI writes.  See ``docs/testing.md``.
+    """
+    from repro.validate import ValidationConfig, run_validation
+
+    return run_validation(
+        ValidationConfig(
+            corpus_seed=corpus_seed,
+            quick=quick,
+            fuzz_cases=fuzz_cases,
+            run_self_test=run_self_test,
+        )
+    )
 
 
 # -- engine surface ------------------------------------------------------

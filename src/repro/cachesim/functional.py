@@ -19,6 +19,8 @@ Two interchangeable backends implement the simulation (see
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro import obs
@@ -27,9 +29,18 @@ from repro.cachesim.fastlru import FastLRUCache
 from repro.cachesim.lru import LRUCache
 from repro.cachesim.stats import PCStats
 from repro.config import CacheConfig
+from repro.errors import SimulationError
 from repro.trace.events import MemoryTrace
 
-__all__ = ["FunctionalCacheSim", "simulate_miss_ratios"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.statstack.mrc import MissRatioCurve
+
+__all__ = [
+    "FunctionalCacheSim",
+    "simulate_miss_ratios",
+    "fully_associative_config",
+    "simulate_miss_ratio_curve",
+]
 
 
 class FunctionalCacheSim:
@@ -144,6 +155,58 @@ class FunctionalCacheSim:
     def miss_ratio(self) -> float:
         """Overall demand miss ratio observed so far."""
         return self.stats.overall_miss_ratio()
+
+
+def fully_associative_config(
+    size_bytes: int,
+    line_bytes: int = 64,
+    name: str = "FA",
+    backend: str | None = None,
+) -> CacheConfig:
+    """A fully associative cache of ``size_bytes`` (``ways == num_lines``).
+
+    This is the geometry StatStack models — one LRU stack, no set
+    conflicts — so the conformance harness simulates it when comparing
+    model output against exact simulation.
+    """
+    if size_bytes <= 0 or size_bytes % line_bytes:
+        raise SimulationError(
+            f"size_bytes must be a positive multiple of line_bytes, got {size_bytes}"
+        )
+    return CacheConfig(
+        name=name,
+        size_bytes=size_bytes,
+        ways=size_bytes // line_bytes,
+        line_bytes=line_bytes,
+        backend=backend,
+    )
+
+
+def simulate_miss_ratio_curve(
+    trace: MemoryTrace,
+    sizes_bytes: Sequence[int] | np.ndarray,
+    line_bytes: int = 64,
+    backend: str | None = None,
+) -> "MissRatioCurve":
+    """Exact fully-associative LRU miss-ratio curve of ``trace``.
+
+    One fresh :class:`FunctionalCacheSim` per size — the simulated
+    ground truth the StatStack curves are validated against (paper
+    Fig. 3 / §IV).  Returns a
+    :class:`~repro.statstack.mrc.MissRatioCurve` over ``sizes_bytes``.
+    """
+    from repro.statstack.mrc import MissRatioCurve
+
+    demand = trace.demand_only()
+    ratios = []
+    with obs.span("cachesim.mrc", sizes=len(sizes_bytes), events=len(demand)):
+        for size in sizes_bytes:
+            sim = FunctionalCacheSim(
+                fully_associative_config(int(size), line_bytes), backend=backend
+            )
+            stats = sim.run(demand)
+            ratios.append(stats.overall_miss_ratio())
+    return MissRatioCurve(np.asarray(sizes_bytes, dtype=np.int64), np.array(ratios))
 
 
 def simulate_miss_ratios(

@@ -10,7 +10,12 @@
 * ``repro mrc <workload>`` — print StatStack miss-ratio curves;
 * ``repro experiment <name>`` — regenerate one of the paper's tables or
   figures (``table1``, ``fig3`` … ``fig12``, ``statstack``,
-  ``combined``).
+  ``combined``);
+* ``repro validate`` — run the model-vs-simulation conformance harness
+  (oracle differential suite, metamorphic invariants, codec/rewriter
+  fuzzing, mutation self-test); ``--quick`` (default) or ``--full``,
+  ``--json-out FILE`` for the machine-readable report.  Exit 0 iff every
+  engine passed.  See ``docs/testing.md``.
 
 ``simulate`` and ``experiment`` accept ``--jobs N`` (parallel worker
 processes), ``--cache-dir PATH`` and ``--no-cache``: cells of the
@@ -186,6 +191,57 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(p_exp)
     add_obs(p_exp)
     p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
+
+    p_val = sub.add_parser(
+        "validate",
+        help="run the model-vs-simulation conformance harness",
+    )
+    mode = p_val.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=True,
+        help="small corpus traces, CI-sized run (default)",
+    )
+    mode.add_argument(
+        "--full",
+        dest="quick",
+        action="store_false",
+        help="4x longer corpus traces plus a sparse-sampling model pass",
+    )
+    p_val.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the synthesized trace corpus (default 0)",
+    )
+    p_val.add_argument(
+        "--fuzz-cases",
+        type=int,
+        default=25,
+        metavar="N",
+        help="fuzz cases per target (default 25)",
+    )
+    p_val.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the full machine-readable report as JSON",
+    )
+    p_val.add_argument(
+        "--persist-repros",
+        default=None,
+        metavar="DIR",
+        help="persist shrunk failing fuzz cases as replayable fixtures in DIR",
+    )
+    p_val.add_argument(
+        "--skip-self-test",
+        action="store_true",
+        help="skip the mutation self-test (it re-runs small engine passes)",
+    )
+    add_obs(p_val)
     return parser
 
 
@@ -433,6 +489,30 @@ def _render_experiment(args: argparse.Namespace) -> None:
         print(render_combined(run_combined(args.machine, scale=scale)))
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate import DiffSettings, ValidationConfig, run_validation
+
+    config = ValidationConfig(
+        corpus_seed=args.corpus_seed,
+        quick=args.quick,
+        fuzz_cases=args.fuzz_cases,
+        run_self_test=not args.skip_self_test,
+        persist_repros=args.persist_repros,
+    )
+    # Full mode additionally builds the model from a sparse sample, the
+    # way production profiling would, with the class's sampled_slack of
+    # extra error headroom.
+    diff_settings = (
+        DiffSettings() if args.quick else DiffSettings(sampler_rates=(1.0, 0.1))
+    )
+    report = run_validation(config, diff_settings=diff_settings)
+    print(report.render())
+    if args.json_out is not None:
+        report.save(args.json_out)
+        print(f"[validate] report written to {args.json_out}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "workloads":
         return _cmd_workloads()
@@ -446,6 +526,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_mrc(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

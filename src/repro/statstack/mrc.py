@@ -84,6 +84,37 @@ class MissRatioCurve:
             raise ModelError("large_bytes must be >= small_bytes")
         return max(0.0, self.at(small_bytes) - self.at(large_bytes))
 
+    def _aligned_ratios(self, other: "MissRatioCurve") -> np.ndarray:
+        """``other``'s ratios sampled on this curve's size grid."""
+        if np.array_equal(self.sizes_bytes, other.sizes_bytes):
+            return other.ratios
+        return np.array([other.at(int(s)) for s in self.sizes_bytes])
+
+    def linf_distance(self, other: "MissRatioCurve") -> float:
+        """Largest absolute miss-ratio gap to ``other`` over this grid.
+
+        The conformance harness' headline number: how far the modelled
+        curve strays from ground truth at its worst size (paper Fig. 3
+        eyeballs exactly this).  ``other`` is interpolated onto this
+        curve's size grid when the grids differ.
+        """
+        return float(np.max(np.abs(self.ratios - self._aligned_ratios(other))))
+
+    def l1_distance(self, other: "MissRatioCurve") -> float:
+        """Mean absolute miss-ratio gap to ``other`` over this grid."""
+        return float(np.mean(np.abs(self.ratios - self._aligned_ratios(other))))
+
+    def is_monotone_nonincreasing(self, tolerance: float = 1e-9) -> bool:
+        """True when the curve never rises by more than ``tolerance``.
+
+        An exact LRU miss-ratio curve is non-increasing in cache size
+        (the stack property); sampled model curves may wiggle within
+        ``tolerance``.
+        """
+        if len(self.ratios) < 2:
+            return True
+        return bool(np.all(np.diff(self.ratios) <= tolerance))
+
     def is_flat_between(
         self, small_bytes: int, large_bytes: int, tolerance: float = 0.05
     ) -> bool:

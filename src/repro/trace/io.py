@@ -5,6 +5,11 @@ lets the analysis be re-run (different machines, thresholds, ablations)
 without re-executing the workload.  The format is a plain NumPy ``.npz``
 with the three event arrays plus a format tag — loadable anywhere
 without this package.
+
+For *small* traces that must be human-auditable — the shrunk fuzz
+repros the conformance harness commits as regression fixtures —
+:func:`trace_to_dict` / :func:`trace_from_dict` provide a plain-JSON
+codec of the same three arrays.
 """
 
 from __future__ import annotations
@@ -16,9 +21,35 @@ import numpy as np
 from repro.errors import TraceError
 from repro.trace.events import MemoryTrace
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "load_trace", "trace_to_dict", "trace_from_dict"]
 
 _FORMAT = "repro-trace-v1"
+_JSON_FORMAT = "repro-trace-json-v1"
+
+
+def trace_to_dict(trace: MemoryTrace) -> dict:
+    """Convert a trace to JSON-serialisable primitives.
+
+    Intended for small fixture traces (every event becomes three JSON
+    numbers); use :func:`save_trace` for anything profiling-sized.
+    """
+    return {
+        "format": _JSON_FORMAT,
+        "pc": trace.pc.tolist(),
+        "addr": trace.addr.tolist(),
+        "op": trace.op.tolist(),
+    }
+
+
+def trace_from_dict(data: dict) -> MemoryTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    if data.get("format") != _JSON_FORMAT:
+        raise TraceError(f"unsupported trace format {data.get('format')!r}")
+    return MemoryTrace(
+        np.asarray(data["pc"], dtype=np.int64),
+        np.asarray(data["addr"], dtype=np.int64),
+        np.asarray(data["op"], dtype=np.uint8),
+    )
 
 
 def save_trace(trace: MemoryTrace, path: str | Path) -> None:

@@ -1,0 +1,325 @@
+"""Seeded trace corpus for the conformance harness.
+
+Every conformance run is driven by the same deterministic corpus: a set
+of synthesized traces spanning the access-pattern classes the paper's
+workloads exhibit (streaming, strided sweeps, pointer chases, random and
+gathered irregular traffic, prefetcher-hostile bursts, mixed phases) plus
+whole generated workloads from :mod:`repro.workloads.generator`.  Each
+trace is labelled with its **class**, and each class carries documented
+error bounds for the StatStack-vs-simulation comparison — the analytical
+model is exact for some reuse structures (constant-distance chases) and
+only statistical for others (gathers), so one global tolerance would
+either mask regressions or flake.
+
+The corpus is a function of ``(seed, quick)`` only; two runs with the
+same arguments produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.interpreter import execute_program
+from repro.isa.program import Program
+from repro.trace.events import MemOp, MemoryTrace, TraceBuilder
+from repro.trace.synthesis import (
+    burst_strided_pattern,
+    chase_pattern,
+    gather_pattern,
+    random_pattern,
+    strided_pattern,
+    stream_pattern,
+    sweep_pattern,
+)
+from repro.workloads.generator import WorkloadRecipe, generate_workload
+
+__all__ = ["ClassBounds", "CorpusTrace", "CLASS_BOUNDS", "build_corpus"]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class ClassBounds:
+    """Documented model-vs-simulation error bounds for one trace class.
+
+    Attributes
+    ----------
+    linf:
+        Maximum allowed L∞ (worst size) gap between the StatStack curve
+        built from the *exhaustive* (rate 1.0) reuse distribution and
+        the exact simulated curve.
+    l1:
+        Maximum allowed mean absolute gap over the size grid.
+    pc:
+        Maximum allowed per-PC miss-ratio divergence at the mid size,
+        over PCs with adequate sample support.
+    sampled_slack:
+        Extra L∞/L1/pc headroom granted when the model is built from a
+        sparse sample (rate < 1) instead of the full distribution.
+    cliff:
+        True for classes whose exact curve is a step function (cyclic
+        strided/sweep reuse: everything misses below the footprint,
+        everything hits above).  At sparse sampling rates the L∞ check
+        is skipped for these — an arbitrarily small displacement of the
+        modelled knee scores as the full step height, so pointwise L∞
+        is ill-conditioned there; the L1 (mean) and per-PC checks still
+        apply.
+    """
+
+    linf: float
+    l1: float
+    pc: float
+    sampled_slack: float = 0.10
+    cliff: bool = False
+
+
+#: Per-class bounds, calibrated against the seeded corpus at roughly 2×
+#: the measured worst-case error (see ``docs/testing.md`` for per-class
+#: measurements).  StatStack is *exact* for patterns whose reuse
+#: distances are (per line) deterministic — streams, strided sweeps,
+#: pointer chases — and statistical for random/gather traffic, where the
+#: expected-stack-distance approximation smooths the true distribution.
+#: The ``mixed`` class is the model's documented weak spot: one global
+#: reuse distribution cannot represent distinct program phases, which
+#: inflates both the curve gap and (especially) per-PC divergence for
+#: PCs confined to one phase.
+#: ``mixed.pc = 1.0`` deliberately disables the per-PC check for that
+#: class: a PC confined to one phase sees a completely different reuse
+#: environment than the global distribution StatStack builds, so its
+#: modelled miss ratio can be arbitrarily wrong — the bound documents
+#: the model's assumption rather than pretending a number exists.
+CLASS_BOUNDS: dict[str, ClassBounds] = {
+    "stream": ClassBounds(linf=0.01, l1=0.005, pc=0.02),
+    "strided": ClassBounds(linf=0.02, l1=0.01, pc=0.02, cliff=True),
+    "sweep": ClassBounds(linf=0.02, l1=0.01, pc=0.02, cliff=True),
+    "chase": ClassBounds(linf=0.02, l1=0.01, pc=0.02),
+    "random": ClassBounds(linf=0.10, l1=0.02, pc=0.03),
+    "gather": ClassBounds(linf=0.08, l1=0.02, pc=0.03),
+    "burst": ClassBounds(linf=0.02, l1=0.01, pc=0.03),
+    "mixed": ClassBounds(linf=0.45, l1=0.15, pc=1.0, cliff=True),
+    "workload": ClassBounds(linf=0.03, l1=0.01, pc=0.03),
+}
+
+
+@dataclass(frozen=True)
+class CorpusTrace:
+    """One corpus entry: a labelled trace plus its provenance.
+
+    ``program`` is set for workload-class entries so the invariant
+    engine can drive the full analyse→rewrite→re-execute pipeline.
+    """
+
+    name: str
+    cls: str
+    trace: MemoryTrace
+    seed: int
+    program: Program | None = None
+
+    @property
+    def bounds(self) -> ClassBounds:
+        return CLASS_BOUNDS[self.cls]
+
+
+def _single_pc(pc: int, addr: np.ndarray) -> MemoryTrace:
+    builder = TraceBuilder()
+    builder.append_uniform(pc, addr, MemOp.LOAD)
+    return builder.build()
+
+
+def _multi_pc(segments: list[tuple[int, np.ndarray, MemOp]]) -> MemoryTrace:
+    builder = TraceBuilder()
+    for pc, addr, op in segments:
+        builder.append_uniform(pc, addr, op)
+    return builder.build()
+
+
+def _interleave(columns: list[tuple[int, np.ndarray]]) -> MemoryTrace:
+    """Round-robin interleave equal-length address columns (one PC each)."""
+    n = min(len(addr) for _, addr in columns)
+    addr = np.stack([a[:n] for _, a in columns], axis=1).reshape(-1)
+    pcs = np.broadcast_to(
+        np.array([pc for pc, _ in columns], dtype=np.int64), (n, len(columns))
+    ).reshape(-1)
+    return MemoryTrace(pcs.copy(), addr, np.zeros(len(addr), np.uint8))
+
+
+def build_corpus(seed: int = 0, quick: bool = True) -> list[CorpusTrace]:
+    """The seeded conformance corpus (25+ traces across all classes)."""
+    n = 6_000 if quick else 24_000
+    entries: list[CorpusTrace] = []
+    counter = 0
+
+    def add(name: str, cls: str, trace: MemoryTrace, program: Program | None = None):
+        nonlocal counter
+        entries.append(
+            CorpusTrace(
+                name=name, cls=cls, trace=trace, seed=seed + counter, program=program
+            )
+        )
+        counter += 1
+
+    def rng() -> np.random.Generator:
+        # One child generator per entry, derived from (seed, index) so
+        # inserting a corpus entry never reshuffles later ones.
+        return np.random.default_rng(np.random.SeedSequence((seed, counter)))
+
+    # -- streaming -----------------------------------------------------
+    add("stream-8B", "stream", _single_pc(10, stream_pattern(0, n, elem_bytes=8)))
+    add("stream-64B", "stream", _single_pc(11, stream_pattern(1 << 24, n, elem_bytes=64)))
+    add(
+        "stream-2x",
+        "stream",
+        _interleave(
+            [
+                (12, stream_pattern(0, n // 2, elem_bytes=8)),
+                (13, stream_pattern(1 << 26, n // 2, elem_bytes=16)),
+            ]
+        ),
+    )
+
+    # -- strided sweeps ------------------------------------------------
+    add(
+        "strided-64-256k",
+        "strided",
+        _single_pc(20, strided_pattern(0, n, 64, wrap_bytes=256 * KB)),
+    )
+    add(
+        "strided-16-64k",
+        "strided",
+        _single_pc(21, strided_pattern(1 << 24, n, 16, wrap_bytes=64 * KB)),
+    )
+    add(
+        "strided-192-512k",
+        "strided",
+        _single_pc(22, strided_pattern(1 << 25, n, 192, wrap_bytes=512 * KB)),
+    )
+    add(
+        "strided-neg-128k",
+        "strided",
+        _single_pc(23, (1 << 26) + strided_pattern(256 * KB, n, -64, wrap_bytes=128 * KB)),
+    )
+
+    # -- nested sweeps (retention-sensitive reuse) ---------------------
+    add(
+        "sweep-two-pass",
+        "sweep",
+        _single_pc(30, sweep_pattern(0, n, (32 * KB, 256 * KB))),
+    )
+    add(
+        "sweep-three-pass",
+        "sweep",
+        _single_pc(31, sweep_pattern(1 << 24, n, (16 * KB, 64 * KB, 512 * KB))),
+    )
+    add(
+        "sweep-fine",
+        "sweep",
+        _single_pc(32, sweep_pattern(1 << 25, n, (8 * KB, 24 * KB), stride_bytes=64)),
+    )
+
+    # -- pointer chases ------------------------------------------------
+    add("chase-512", "chase", _single_pc(40, chase_pattern(rng(), 0, 512, n)))
+    add("chase-2k", "chase", _single_pc(41, chase_pattern(rng(), 1 << 24, 2048, n)))
+    add("chase-8k", "chase", _single_pc(42, chase_pattern(rng(), 1 << 26, 8192, n)))
+
+    # -- uniform random ------------------------------------------------
+    add("random-64k", "random", _single_pc(50, random_pattern(rng(), 0, 64 * KB, n)))
+    add(
+        "random-512k",
+        "random",
+        _single_pc(51, random_pattern(rng(), 1 << 24, 512 * KB, n)),
+    )
+    add(
+        "random-align64",
+        "random",
+        _single_pc(52, random_pattern(rng(), 1 << 25, 128 * KB, n, align=64)),
+    )
+
+    # -- indirect gathers ----------------------------------------------
+    add(
+        "gather-lo",
+        "gather",
+        _single_pc(60, gather_pattern(rng(), 0, 256 * KB, n, locality=0.2)),
+    )
+    add(
+        "gather-mid",
+        "gather",
+        _single_pc(61, gather_pattern(rng(), 1 << 24, 256 * KB, n, locality=0.6)),
+    )
+    add(
+        "gather-hi",
+        "gather",
+        _single_pc(62, gather_pattern(rng(), 1 << 25, 128 * KB, n, locality=0.9)),
+    )
+
+    # -- prefetcher-hostile bursts -------------------------------------
+    add(
+        "burst-short",
+        "burst",
+        _single_pc(70, burst_strided_pattern(rng(), 0, 512 * KB, n, burst_len=6)),
+    )
+    add(
+        "burst-long",
+        "burst",
+        _single_pc(
+            71, burst_strided_pattern(rng(), 1 << 24, 1024 * KB, n, burst_len=24, stride_bytes=16)
+        ),
+    )
+
+    # -- mixed phases --------------------------------------------------
+    third = n // 3
+    add(
+        "mixed-phases",
+        "mixed",
+        _multi_pc(
+            [
+                (80, strided_pattern(0, third, 64, wrap_bytes=128 * KB), MemOp.LOAD),
+                (81, chase_pattern(rng(), 1 << 24, 1024, third), MemOp.LOAD),
+                (82, stream_pattern(1 << 26, third, elem_bytes=8), MemOp.LOAD),
+            ]
+        ),
+    )
+    add(
+        "mixed-interleaved",
+        "mixed",
+        _interleave(
+            [
+                (83, strided_pattern(0, n // 2, 64, wrap_bytes=64 * KB)),
+                (84, random_pattern(rng(), 1 << 24, 256 * KB, n // 2)),
+            ]
+        ),
+    )
+    add(
+        "mixed-stores",
+        "mixed",
+        _multi_pc(
+            [
+                (85, strided_pattern(0, n // 2, 64, wrap_bytes=128 * KB), MemOp.LOAD),
+                (86, strided_pattern(1 << 24, n // 2, 64, wrap_bytes=64 * KB), MemOp.STORE),
+            ]
+        ),
+    )
+
+    # -- whole generated workloads (program-bearing entries) -----------
+    trips = max(200, n // 5)
+    recipes = [
+        ("workload-stream-chase", WorkloadRecipe(
+            stream_weight=0.6, chase_weight=0.4, footprint_bytes=2 * 1024 * KB,
+            n_instructions=4, trips=trips,
+        )),
+        ("workload-gather-store", WorkloadRecipe(
+            stream_weight=0.3, gather_weight=0.4, store_weight=0.3,
+            footprint_bytes=1024 * KB, n_instructions=5, trips=trips,
+        )),
+        ("workload-burst", WorkloadRecipe(
+            stream_weight=0.2, burst_weight=0.8, footprint_bytes=512 * KB,
+            n_instructions=4, trips=trips, burst_len=8,
+        )),
+    ]
+    for name, recipe in recipes:
+        program = generate_workload(recipe, seed=seed + counter, name=name)
+        execution = execute_program(program, seed=seed + counter)
+        add(name, "workload", execution.trace, program=program)
+
+    return entries

@@ -1,0 +1,52 @@
+"""The test suite itself must be deterministic (see tools/).
+
+Runs the same lint CI runs: no unseeded RNG construction anywhere in
+``tests/``.  A violation here means a test can fail unreproducibly.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_test_determinism import find_violations  # noqa: E402
+
+
+def test_tests_directory_is_deterministic():
+    violations = find_violations([ROOT / "tests"])
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+def test_lint_catches_unseeded_rng(tmp_path):
+    # the forbidden constructions are assembled by concatenation so this
+    # file does not itself trip the lint it is testing
+    bad = tmp_path / "test_bad.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "import random\n"
+        "r = np.random.default_rng(" + ")\n"
+        "s = random.Random(" + ")\n"
+        "np.random." + "seed(1)\n"
+        "x = random." + "random()\n"
+    )
+    rules = {v.rule for v in find_violations([bad])}
+    assert rules == {
+        "unseeded-default_rng",
+        "unseeded-Random",
+        "global-np-seed",
+        "module-level-random",
+    }
+
+
+def test_lint_ignores_seeded_and_comments(tmp_path):
+    good = tmp_path / "test_good.py"
+    good.write_text(
+        "import numpy as np\n"
+        "import random\n"
+        "r = np.random.default_rng(7)\n"
+        "s = random.Random(3)\n"
+        "# np.random.seed(1) in a comment is fine\n"
+        "g = rng.random()\n"
+    )
+    assert find_violations([good]) == []

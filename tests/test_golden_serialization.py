@@ -1,0 +1,66 @@
+"""Golden round-trip tests for the JSON codecs.
+
+The fixtures under ``tests/fixtures/golden/`` are committed encoder
+output (``json.dumps(..., indent=2, sort_keys=True)``).  Each test
+decodes the committed document and re-encodes it; the result must match
+the committed text *byte for byte*.  Any codec change that alters the
+wire format — field renames, float formatting, ordering — fails here
+first, forcing a deliberate format-version bump instead of a silent
+break of previously saved artefacts.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.serialization import (
+    plan_from_dict,
+    plan_to_dict,
+    sampling_from_dict,
+    sampling_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+GOLDEN = Path(__file__).parent / "fixtures" / "golden"
+
+CODECS = {
+    "plan": (plan_from_dict, plan_to_dict),
+    "stats": (stats_from_dict, stats_to_dict),
+    "sampling": (sampling_from_dict, sampling_to_dict),
+}
+
+
+def canonical(doc: dict) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+def test_golden_round_trip_is_byte_identical(name):
+    decode, encode = CODECS[name]
+    committed = (GOLDEN / f"{name}.json").read_text()
+    obj = decode(json.loads(committed))
+    assert canonical(encode(obj)) == committed
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+def test_golden_double_round_trip(name):
+    # decode(encode(decode(x))) must be stable too, not just one hop.
+    decode, encode = CODECS[name]
+    committed = json.loads((GOLDEN / f"{name}.json").read_text())
+    once = encode(decode(committed))
+    twice = encode(decode(once))
+    assert canonical(once) == canonical(twice)
+
+
+def test_golden_fixtures_declare_formats():
+    formats = {
+        name: json.loads((GOLDEN / f"{name}.json").read_text())["format"]
+        for name in CODECS
+    }
+    assert formats == {
+        "plan": "repro-plan-v1",
+        "stats": "repro-stats-v1",
+        "sampling": "repro-sampling-v1",
+    }

@@ -97,10 +97,10 @@ class TestPhaseDetector:
 
 
 class TestPhaseAwareSampling:
-    def test_abab_sampled_twice(self):
+    def test_abab_sampled_twice(self, rng):
         n = 30_000
         a = strided_pattern(0, n, 64, wrap_bytes=1 << 20)
-        b = chase_pattern(np.random.default_rng(1), 1 << 31, 4096, n)
+        b = chase_pattern(rng, 1 << 31, 4096, n)
         trace = MemoryTrace.loads(
             np.repeat([0, 1, 0, 1], n).astype(np.int64),
             np.concatenate([a, b, a, b]),

@@ -34,7 +34,6 @@ class TestOnlineInternals:
 
     def test_history_smooths_plan_changes(self, amd):
         # same workload, alternating noise: longer history -> fewer flips
-        rng = np.random.default_rng(2)
         n = 30_000
         parts = []
         for i in range(6):

@@ -43,11 +43,10 @@ class TestSetAssociativeMissRatio:
         mr_assoc = set_associative_miss_ratio(model, assoc8)
         assert mr_direct > mr_assoc
 
-    def test_validates_against_exact_simulation(self):
+    def test_validates_against_exact_simulation(self, rng):
         # Smith's refinement assumes lines map to sets randomly; build a
         # loop over 200 *randomly placed* lines (heap-like addresses) so
         # the assumption holds, then compare against exact simulation.
-        rng = np.random.default_rng(11)
         pool = np.unique(rng.integers(0, 1 << 22, size=400)) [:200] * 64
         addr = np.tile(pool, 300)
         t = MemoryTrace.loads(np.zeros(len(addr), np.int64), addr)

@@ -95,7 +95,7 @@ class TestGather:
 
     def test_locality_raises_line_reuse(self, rng):
         lo = gather_pattern(rng, 0, 1 << 20, 4000, locality=0.0)
-        hi = gather_pattern(np.random.default_rng(7), 0, 1 << 20, 4000, locality=0.9)
+        hi = gather_pattern(rng, 0, 1 << 20, 4000, locality=0.9)
         # high locality -> consecutive accesses land on the same line far
         # more often
         same_lo = np.mean(np.diff(lo // 64) == 0)

@@ -1,0 +1,62 @@
+"""Mutation self-test: each conformance engine must detect its corruption.
+
+These are the harness's own teeth check — a biased model must trip the
+differential suite, a perturbed eviction policy must trip the LRU stack
+invariant, and a corrupted codec must trip the fuzzer.  If any mutation
+goes undetected the harness is vacuous, so this runs in tier 1.
+"""
+
+import numpy as np
+
+from repro.cachesim.lru import LRUCache
+from repro.config import CacheConfig
+from repro.statstack.model import StatStackModel
+from repro.validate import run_selftest
+from repro.validate.selftest import (
+    _mutate_codec,
+    _mutate_eviction,
+    _mutate_model,
+    _selftest_corpus,
+)
+
+
+class TestSelfTest:
+    def test_all_mutations_detected(self):
+        outcomes = run_selftest(seed=0)
+        assert len(outcomes) == 3
+        missed = [o for o in outcomes if not o.detected]
+        assert not missed, [f"{o.mutation}: {o.detail}" for o in missed]
+        assert {o.engine for o in outcomes} == {"differential", "invariants", "fuzz"}
+
+    def test_model_bias_detected(self):
+        outcome = _mutate_model(_selftest_corpus(seed=0))
+        assert outcome.detected, outcome.detail
+
+    def test_eviction_perturbation_detected(self):
+        outcome = _mutate_eviction(_selftest_corpus(seed=0))
+        assert outcome.detected, outcome.detail
+
+    def test_codec_corruption_detected(self):
+        outcome = _mutate_codec(seed=0)
+        assert outcome.detected, outcome.detail
+
+    def test_mutations_are_reverted(self):
+        # run_selftest monkeypatches the model, the cache and the fault
+        # registry; all three must be restored afterwards.
+        model_fn = StatStackModel.miss_ratio
+        install_fn = LRUCache.install
+        run_selftest(seed=0)
+        assert StatStackModel.miss_ratio is model_fn
+        assert LRUCache.install is install_fn
+        # sanity: an untouched cache still evicts the LRU line
+        cache = LRUCache(CacheConfig("t", 4 * 64, ways=4, line_bytes=64))
+        for line in (0, 1, 2, 3):
+            cache.install(line)
+        victim = cache.install(4)
+        assert victim is not None and victim[0] == 0
+
+
+def test_selftest_outcomes_serialize():
+    doc = [o.as_dict() for o in run_selftest(seed=1)]
+    assert all({"mutation", "engine", "detected", "detail"} <= set(d) for d in doc)
+    assert all(isinstance(d["detected"], (bool, np.bool_)) for d in doc)

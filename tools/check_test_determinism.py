@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Lint the test suite for unseeded randomness.
+
+Every source of randomness in ``tests/`` must be seeded — either through
+the shared ``rng`` fixture from ``tests/conftest.py`` or an explicit
+seed — so that a test failure is always reproducible from its name
+alone.  This script greps for the constructions that silently pull
+entropy from the OS:
+
+* ``np.random.default_rng()`` / ``default_rng()`` with no arguments
+* ``random.Random()`` with no arguments
+* ``np.random.seed(...)`` (legacy global-state seeding: forbidden
+  outright, it leaks across tests)
+* bare ``random.random()`` / ``random.randint`` module-level calls
+
+Run as a script (CI does) or import :func:`find_violations` from tests.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["RULES", "Violation", "find_violations", "main"]
+
+#: (rule-name, compiled pattern, explanation).  Patterns are line-based.
+RULES: list[tuple[str, re.Pattern[str], str]] = [
+    (
+        "unseeded-default_rng",
+        re.compile(r"\bdefault_rng\(\s*\)"),
+        "np.random.default_rng() without a seed draws OS entropy; "
+        "pass a seed or use the shared `rng` fixture",
+    ),
+    (
+        "unseeded-Random",
+        re.compile(r"\brandom\.Random\(\s*\)"),
+        "random.Random() without a seed draws OS entropy; pass a seed",
+    ),
+    (
+        "global-np-seed",
+        re.compile(r"\bnp\.random\.seed\s*\("),
+        "np.random.seed mutates global state shared across tests; "
+        "use a Generator (the `rng` fixture) instead",
+    ),
+    (
+        "module-level-random",
+        re.compile(r"(?<![\w.])random\.(random|randint|choice|shuffle|uniform)\s*\("),
+        "the `random` module's global functions are unseeded per-test; "
+        "use a seeded random.Random or numpy Generator",
+    ),
+]
+
+
+class Violation:
+    """One flagged line."""
+
+    def __init__(self, path: Path, lineno: int, rule: str, line: str, why: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.line = line
+        self.why = why
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.line.strip()}\n    {self.why}"
+
+
+def find_violations(paths: list[Path]) -> list[Violation]:
+    """Scan python files (or directories of them) for unseeded randomness."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    violations: list[Violation] = []
+    for file in files:
+        for lineno, line in enumerate(file.read_text().splitlines(), start=1):
+            stripped = line.split("#", 1)[0]
+            for rule, pattern, why in RULES:
+                if pattern.search(stripped):
+                    violations.append(Violation(file, lineno, rule, line, why))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(a) for a in args] or [root / "tests"]
+    violations = find_violations(paths)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} determinism violation(s) found")
+        return 1
+    print("test determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
