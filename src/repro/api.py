@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.cachesim.options import SimOptions
 from repro.errors import ExperimentError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,6 +48,7 @@ __all__ = [
     "PLAN_KINDS",
     "DEFAULT_MACHINE",
     "ExperimentSpec",
+    "SimOptions",
     "profile",
     "plan",
     "run",
@@ -247,6 +249,7 @@ def configure(
     strict: bool = True,
     trace: bool = False,
     deterministic_trace: bool = False,
+    sim_options: SimOptions | None = None,
     sim_backend: str | None = None,
 ) -> "ExperimentEngine":
     """Install and return the process-wide default engine.
@@ -262,19 +265,33 @@ def configure(
     deterministic_trace:
         Use the virtual clock so exported traces are byte-stable across
         runs (implies ``trace``).
+    sim_options:
+        :class:`SimOptions` installed as the process-wide default for
+        every simulator in this process and the engine's workers
+        (precedence: explicit constructor arg > config spec > this
+        default; see ``docs/simulators.md``).  ``None`` leaves the
+        current default untouched.
     sim_backend:
-        Cache-simulation backend for every simulator in this process
-        and the engine's workers: ``"reference"`` (dict-based oracle)
-        or ``"fast"`` (array-native, bit-identical; see
-        ``docs/performance.md``).  ``None`` leaves the current default
-        untouched.
+        Deprecated alias for ``sim_options=SimOptions(backend=...)``;
+        still functional, emits a :class:`DeprecationWarning`.
     """
     from repro import obs
-    from repro.cachesim.backend import set_default_backend
+    from repro.cachesim.options import set_default_options
     from repro.experiments import engine as _engine
 
     if sim_backend is not None:
-        set_default_backend(sim_backend)
+        import warnings
+
+        warnings.warn(
+            "configure(sim_backend=...) is deprecated; pass "
+            "configure(sim_options=SimOptions(backend=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if sim_options is None:
+            sim_options = SimOptions(backend=sim_backend)
+    if sim_options is not None:
+        set_default_options(sim_options)
     if trace or deterministic_trace:
         obs.enable(deterministic=deterministic_trace)
     return _engine.configure(

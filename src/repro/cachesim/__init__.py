@@ -18,6 +18,12 @@ from repro.cachesim.lru import (
     FLAG_SW_PREFETCH,
     LRUCache,
 )
+from repro.cachesim.options import (
+    SimOptions,
+    get_default_options,
+    resolve_options,
+    set_default_options,
+)
 from repro.cachesim.stats import LevelStats, PCStats, RunStats
 
 __all__ = [
@@ -31,9 +37,13 @@ __all__ = [
     "LevelStats",
     "PCStats",
     "RunStats",
+    "SimOptions",
     "get_default_backend",
+    "get_default_options",
     "resolve_backend",
+    "resolve_options",
     "set_default_backend",
+    "set_default_options",
     "FLAG_DIRTY",
     "FLAG_HW_PREFETCH",
     "FLAG_NTA",

@@ -1,4 +1,4 @@
-"""Simulation backend selection.
+"""Simulation backend selection (legacy shim).
 
 Two interchangeable cache-simulation backends exist (see
 ``docs/performance.md``):
@@ -7,66 +7,57 @@ Two interchangeable cache-simulation backends exist (see
   (:class:`~repro.cachesim.lru.LRUCache` driven one access at a time).
   Slow, simple, and the oracle the fast backend is verified against.
 * ``"fast"`` — the array-native backend
-  (:class:`~repro.cachesim.fastlru.FastLRUCache` batch kernel for the
-  functional simulator, plus the chunked demand path of
+  (:class:`~repro.cachesim.fastlru.FastLRUCache` batch kernels for the
+  functional simulator and the batched / chunked demand paths of
   :class:`~repro.cachesim.hierarchy.CacheHierarchy`).  Bit-identical
   statistics, several times faster.
 
-The choice is resolved per simulator from, in priority order:
-
-1. an explicit argument (``FunctionalCacheSim(cfg, backend="fast")``);
-2. the config object (``CacheConfig.backend`` /
-   ``MachineConfig.sim_backend``) when not ``None``;
-3. the process-wide default set by :func:`set_default_backend` — wired
-   to ``repro.api.configure(sim_backend=...)`` and the CLI's
-   ``--sim-backend`` flag, and shipped to engine worker processes.
+The single source of truth for the selection — including the documented
+precedence (explicit arg > spec > process default) — now lives in
+:mod:`repro.cachesim.options` as :class:`~repro.cachesim.options.SimOptions`.
+The helpers below are kept as thin compatibility wrappers over that
+module; new code should prefer ``SimOptions`` via ``repro.api``.
 """
 
 from __future__ import annotations
 
-from repro.errors import ConfigError
+from dataclasses import replace
+
+from repro.cachesim import options as _options
+from repro.cachesim.options import BACKENDS, validate_backend
 
 __all__ = [
     "BACKENDS",
+    "validate_backend",
     "get_default_backend",
     "set_default_backend",
     "resolve_backend",
 ]
 
-#: Valid backend names.
-BACKENDS = ("reference", "fast")
-
-_DEFAULT: str = "reference"
-
-
-def validate_backend(name: str | None) -> None:
-    """Raise :class:`~repro.errors.ConfigError` for unknown backend names.
-
-    ``None`` is accepted and means "defer to the process default".
-    """
-    if name is not None and name not in BACKENDS:
-        raise ConfigError(f"unknown sim backend {name!r}; valid: {BACKENDS}")
-
 
 def set_default_backend(name: str) -> str:
-    """Set the process-wide default backend; returns the previous one."""
-    global _DEFAULT
+    """Set the process-wide default backend; returns the previous one.
+
+    Legacy wrapper over :func:`repro.cachesim.options.set_default_options`;
+    other default options are preserved.
+    """
     if name not in BACKENDS:
+        from repro.errors import ConfigError
+
         raise ConfigError(f"unknown sim backend {name!r}; valid: {BACKENDS}")
-    previous = _DEFAULT
-    _DEFAULT = name
-    return previous
+    current = _options.get_default_options()
+    previous = _options.set_default_options(replace(current, backend=name))
+    return previous.backend or "reference"
 
 
 def get_default_backend() -> str:
     """The process-wide default backend name."""
-    return _DEFAULT
+    return _options.get_default_options().backend or "reference"
 
 
 def resolve_backend(explicit: str | None = None) -> str:
     """Resolve an optional explicit/config choice against the default."""
+    validate_backend(explicit)
     if explicit is None:
-        return _DEFAULT
-    if explicit not in BACKENDS:
-        raise ConfigError(f"unknown sim backend {explicit!r}; valid: {BACKENDS}")
+        return get_default_backend()
     return explicit

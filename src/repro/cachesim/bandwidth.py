@@ -76,6 +76,22 @@ class BandwidthModel:
         self._update_ewma(now, n_bytes)
         return start, duration
 
+    def charge_batch(
+        self, now: float, n_bytes: int, count: int
+    ) -> list[tuple[float, float]]:
+        """Reserve ``count`` consecutive slots of ``n_bytes`` at ``now``.
+
+        Batch counterpart of :meth:`transfer` for callers that issue a
+        burst of same-size transfers at one instant (writeback drains,
+        batched fill accounting).  Exactly equivalent to calling
+        :meth:`transfer` ``count`` times — same slots, same totals, same
+        EWMA trajectory — so it can replace scalar loops without
+        perturbing bit-identical statistics.
+        """
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        return [self.transfer(now, n_bytes) for _ in range(count)]
+
     def queue_delay(self, now: float) -> float:
         """Cycles a transfer requested at ``now`` would wait for a slot."""
         return max(0.0, self._free_time - now)

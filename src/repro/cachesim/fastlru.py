@@ -47,15 +47,39 @@ import numpy as np
 from repro.config import CacheConfig
 from repro.errors import SimulationError
 
-__all__ = ["FastLRUCache"]
+__all__ = [
+    "FastLRUCache",
+    "OP_DEMAND",
+    "OP_FILL",
+    "OP_PROBE",
+    "OP_TOUCH",
+]
 
 #: Tag value marking an empty way.
 EMPTY = -1
 
+#: Heterogeneous-op kinds for :meth:`FastLRUCache.ops_batch`.  Each op
+#: reproduces one scalar access pattern of the cache hierarchy:
+#:
+#: * ``OP_DEMAND`` — probe; on hit promote to MRU and OR the op's flags
+#:   in (``lookup``); on miss install with the op's flags, evicting the
+#:   LRU way (``install``).  The demand path of every level.
+#: * ``OP_FILL``   — probe; on hit do nothing (``contains``); on miss
+#:   install with the op's flags.  Hardware-prefetch fills.
+#: * ``OP_PROBE``  — pure residency probe, no state change.
+#: * ``OP_TOUCH``  — on hit OR the op's flags in without refreshing LRU
+#:   (``touch_flags``); on miss do nothing.  Dirty-victim write-back
+#:   absorption.
+OP_DEMAND, OP_FILL, OP_PROBE, OP_TOUCH = 0, 1, 2, 3
+
 #: Minimum number of concurrently active sets for a wavefront round to
 #: beat the scalar dict loop; below this the batch kernel switches to
-#: the per-set scalar tail.
-MIN_WAVEFRONT_SETS = 24
+#: the per-set scalar tail.  A round costs a roughly fixed ~25 numpy
+#: dispatches regardless of width, so it only amortises when it retires
+#: at least ~100 ops; skewed workloads (a few hot sets absorbing most
+#: accesses) otherwise drag the wavefront through thousands of narrow
+#: rounds that the dict replay handles at ~1 µs/op.
+MIN_WAVEFRONT_SETS = 128
 
 
 class FastLRUCache:
@@ -463,6 +487,430 @@ class FastLRUCache:
             if vic_pos is not None and t_pos:
                 vic_pos.append(np.asarray(t_pos, dtype=np.int64))
                 vic_line.append(np.asarray(t_line, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # heterogeneous-op batch kernel (cache-hierarchy fast path)
+    # ------------------------------------------------------------------
+
+    def ops_batch(
+        self,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        oflags: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Apply an ordered stream of heterogeneous cache operations.
+
+        Generalisation of :meth:`access_batch` for the hierarchy's fast
+        path: every element of the stream carries an op kind (see
+        :data:`OP_DEMAND` …) and a flags word, so one call replays the
+        exact scalar sequence a cache level sees — demand lookups,
+        hardware-prefetch fills, residency probes and dirty touches —
+        with the same set-wavefront rounds and the same scalar-tail
+        fallback as the homogeneous kernel.
+
+        Returns ``(hit, prior, vic_idx, vic_line, vic_flags)``:
+
+        * ``hit``      — per-op residency at probe time;
+        * ``prior``    — the line's flags word *before* the op (0 on
+          miss), for useful-prefetch accounting;
+        * ``vic_idx`` / ``vic_line`` / ``vic_flags`` — evictions in
+          stream order: the index of the op that installed over the
+          victim, the victim line, and its flags at eviction.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        oflags = np.ascontiguousarray(oflags, dtype=np.int64)
+        n = len(lines)
+        hit = np.zeros(n, dtype=bool)
+        prior = np.zeros(n, dtype=np.int64)
+        empty_i = np.empty(0, dtype=np.int64)
+        if n == 0:
+            return hit, prior, empty_i, empty_i, empty_i
+        if self.ways == 2 and n > 2 and not kinds.any():
+            # Pure-demand stream on a 2-way cache (the L1 geometry of the
+            # paper's AMD machine): round-free run-level algorithm.
+            return self._ops_demand_2way(lines, oflags, hit, prior)
+        sets = lines & self._set_mask
+        key = sets.astype(np.uint16) if self._set_mask < (1 << 16) else sets
+        order = np.argsort(key, kind="stable")
+        sorted_sets = sets[order]
+        uniq, start, counts = np.unique(
+            sorted_sets, return_index=True, return_counts=True
+        )
+        clock = self._clock
+        vic_i: list[np.ndarray] = []
+        vic_l: list[np.ndarray] = []
+        vic_f: list[np.ndarray] = []
+
+        n_groups = len(uniq)
+        gorder = np.argsort(-counts, kind="stable")
+        uniq_d = uniq[gorder]
+        start_d = start[gorder]
+        counts_d = counts[gorder]
+        max_rounds = int(counts_d[0])
+        ks = np.searchsorted(-counts_d, -np.arange(1, max_rounds + 1), side="right")
+        ranks = np.arange(n) - np.repeat(start, counts)
+        inv = np.empty(n_groups, dtype=np.int64)
+        inv[gorder] = np.arange(n_groups)
+        col_sorted = np.repeat(inv, counts)
+
+        wtags = self.tags[uniq_d]
+        wstamp = self.stamp[uniq_d]
+        wflags = self.flags[uniq_d]
+
+        r_stop = 0
+        band = 256
+        while r_stop < max_rounds:
+            k0 = int(ks[r_stop])
+            if k0 < MIN_WAVEFRONT_SETS:
+                break
+            depth = min(band, max_rounds - r_stop)
+            in_band = (ranks >= r_stop) & (ranks < r_stop + depth)
+            rows = ranks[in_band] - r_stop
+            cols = col_sorted[in_band]
+            pos_band = order[in_band]
+            posm = np.full((depth, k0), -1, dtype=np.int64)
+            linesm = np.empty((depth, k0), dtype=np.int64)
+            # Inactive cells default to a pure probe of an impossible
+            # line, so round bodies need no activity masking.
+            kindm = np.full((depth, k0), OP_PROBE, dtype=np.uint8)
+            flagm = np.zeros((depth, k0), dtype=np.int64)
+            hitm = np.zeros((depth, k0), dtype=bool)
+            priorm = np.zeros((depth, k0), dtype=np.int64)
+            posm[rows, cols] = pos_band
+            linesm[rows, cols] = lines[pos_band]
+            kindm[rows, cols] = kinds[pos_band]
+            flagm[rows, cols] = oflags[pos_band]
+            stampm = posm + clock
+            ar = np.arange(k0)
+            for r, k in enumerate(ks[r_stop:r_stop + depth].tolist()):
+                a = ar[:k]
+                line_r = linesm[r, :k]
+                kind_r = kindm[r, :k]
+                of_r = flagm[r, :k]
+                eq = wtags[:k] == line_r[:, None]
+                way = eq.argmax(axis=1)
+                h = eq[a, way]
+                hitm[r, :k] = h
+                if h.any():
+                    hv = a[h]
+                    hw = way[h]
+                    priorm[r, :k][h] = wflags[hv, hw]
+                    orm = h & ((kind_r == OP_DEMAND) | (kind_r == OP_TOUCH))
+                    if orm.any():
+                        ov = a[orm]
+                        ow = way[orm]
+                        wflags[ov, ow] |= of_r[orm]
+                    prom = h & (kind_r == OP_DEMAND)
+                    if prom.any():
+                        pv = a[prom]
+                        wstamp[pv, way[prom]] = stampm[r, :k][prom]
+                inst = ~h & (kind_r <= OP_FILL)
+                if inst.any():
+                    vway = wstamp[:k].argmin(axis=1)
+                    iv = a[inst]
+                    ivw = vway[inst]
+                    displaced = wtags[iv, ivw]
+                    evict = displaced != EMPTY
+                    if evict.any():
+                        vic_i.append(posm[r, :k][inst][evict])
+                        vic_l.append(displaced[evict])
+                        vic_f.append(wflags[iv, ivw][evict])
+                    wtags[iv, ivw] = line_r[inst]
+                    wflags[iv, ivw] = of_r[inst]
+                    wstamp[iv, ivw] = stampm[r, :k][inst]
+            hit[pos_band] = hitm[rows, cols]
+            prior[pos_band] = priorm[rows, cols]
+            r_stop += depth
+
+        self.tags[uniq_d] = wtags
+        self.stamp[uniq_d] = wstamp
+        self.flags[uniq_d] = wflags
+        if r_stop < max_rounds:
+            self._ops_scalar_tail(
+                lines, kinds, oflags, order, uniq_d, start_d, counts_d,
+                r_stop, clock, hit, prior, vic_i, vic_l, vic_f,
+            )
+
+        self._clock = clock + n
+        if not vic_i:
+            return hit, prior, empty_i, empty_i, empty_i
+        idx_all = np.concatenate(vic_i)
+        line_all = np.concatenate(vic_l)
+        flag_all = np.concatenate(vic_f)
+        vorder = np.argsort(idx_all, kind="stable")
+        return hit, prior, idx_all[vorder], line_all[vorder], flag_all[vorder]
+
+    def _ops_demand_2way(
+        self,
+        lines: np.ndarray,
+        oflags: np.ndarray,
+        hit: np.ndarray,
+        prior: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Round-free demand-only kernel for 2-way caches, with flags.
+
+        Extends the :meth:`_access_batch_2way` run decomposition to the
+        full :meth:`ops_batch` contract.  Group each set's accesses into
+        *runs* of equal consecutive lines; then, before run ``j`` of a
+        group, the MRU line is run ``j-1``'s line and the LRU line is
+        run ``j-2``'s (with the pre-batch residents seeding ``j < 2``).
+        Hence every non-first access of a run hits, a run's first access
+        hits iff its line equals run ``j-2``'s, and a miss evicts run
+        ``j-2``'s line.
+
+        Flag words ride along *survival chains*: a hit at run ``j``
+        continues the line's flags from run ``j-2``, a miss restarts
+        them at the installing op's flags.  Chains therefore live inside
+        the even/odd run subsequences of each group, and each flag bit
+        reduces to a ``maximum.accumulate`` reachability scan at run
+        level — no sequential rounds anywhere.
+        """
+        n = len(lines)
+        sets = lines & self._set_mask
+        key = sets.astype(np.uint16) if self._set_mask < (1 << 16) else sets
+        order = np.argsort(key, kind="stable")
+        ss = sets[order]
+        ls = lines[order]
+        of = oflags[order]
+        idx = np.arange(n)
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(ss[1:], ss[:-1], out=first[1:])
+        ls_prev = np.empty(n, dtype=np.int64)
+        ls_prev[0] = EMPTY
+        ls_prev[1:] = ls[:-1]
+        change = first | (ls != ls_prev)
+        rs = np.maximum.accumulate(np.where(change, idx, 0))
+
+        # ---- run-level view ------------------------------------------
+        rsi = np.nonzero(change)[0]
+        n_runs = len(rsi)
+        run_line = ls[rsi]
+        run_first = first[rsi]
+        run_pos0 = order[rsi]
+        run_of = np.bitwise_or.reduceat(of, rsi)
+        run_ar = np.arange(n_runs)
+        gfr = np.maximum.accumulate(np.where(run_first, run_ar, 0))
+        rj = run_ar - gfr
+
+        # ---- pre-batch residents per group ---------------------------
+        sets_f = ss[first]
+        t0 = self.tags[sets_f, 0]
+        t1 = self.tags[sets_f, 1]
+        s0 = self.stamp[sets_f, 0]
+        s1 = self.stamp[sets_f, 1]
+        f0 = self.flags[sets_f, 0]
+        f1 = self.flags[sets_f, 1]
+        one_is_mru = s1 > s0
+        mru0 = np.where(one_is_mru, t1, t0)
+        lru0 = np.where(one_is_mru, t0, t1)
+        f_mru0 = np.where(one_is_mru, f1, f0)
+        f_lru0 = np.where(one_is_mru, f0, f1)
+        l0 = run_line[run_first]
+        hit_mru0 = l0 == mru0
+        pre_lru = np.where(hit_mru0, lru0, mru0)
+        f_pre = np.where(hit_mru0, f_lru0, f_mru0)
+        old_lru_stamp = np.where(hit_mru0, np.minimum(s0, s1), np.maximum(s0, s1))
+
+        # ---- run hit/miss, base seeds and victims --------------------
+        gmap = np.cumsum(run_first) - 1  # run -> group
+        run_hit = np.empty(n_runs, dtype=bool)
+        seed_base = np.zeros(n_runs, dtype=np.int64)
+        vic_line_r = np.full(n_runs, EMPTY, dtype=np.int64)
+        vic_flags_r = np.zeros(n_runs, dtype=np.int64)
+
+        b0 = rj == 0
+        g_b0 = gmap[b0]
+        l_b0 = run_line[b0]
+        h_mru = l_b0 == mru0[g_b0]
+        h_lru = l_b0 == lru0[g_b0]
+        run_hit[b0] = h_mru | h_lru
+        seed_base[b0] = np.where(h_mru, f_mru0[g_b0], np.where(h_lru, f_lru0[g_b0], 0))
+        vic_line_r[b0] = lru0[g_b0]
+        vic_flags_r[b0] = f_lru0[g_b0]
+
+        b1 = rj == 1
+        g_b1 = gmap[b1]
+        h1 = run_line[b1] == pre_lru[g_b1]
+        run_hit[b1] = h1
+        seed_base[b1] = np.where(h1, f_pre[g_b1], 0)
+        vic_line_r[b1] = pre_lru[g_b1]
+        vic_flags_r[b1] = f_pre[g_b1]
+
+        # rj >= 2: LRU before run j is run j-2's line, and chains link
+        # even/odd run subsequences of each group.
+        b2 = rj >= 2
+        prev2_line = np.empty(n_runs, dtype=np.int64)
+        prev2_line[2:] = run_line[:-2]
+        prev2_line[:2] = EMPTY
+        cont = b2 & (run_line == prev2_line)
+        run_hit[b2] = cont[b2]
+        vic_line_r[b2] = prev2_line[b2]
+
+        # ---- flag chains via per-bit reachability scans --------------
+        g_flags = np.empty(n_runs, dtype=np.int64)
+        prev_g = np.zeros(n_runs, dtype=np.int64)
+        all_bits = int(np.bitwise_or.reduce(run_of)) | int(
+            np.bitwise_or.reduce(seed_base) if n_runs else 0
+        )
+        for p in (0, 1):
+            sel = np.nonzero((rj & 1) == p)[0]
+            if not len(sel):
+                continue
+            m = len(sel)
+            cont_s = cont[sel]
+            st = ~cont_s
+            contrib = np.where(st, run_of[sel] | seed_base[sel], run_of[sel])
+            kidx = np.arange(m)
+            segstart = np.maximum.accumulate(np.where(st, kidx, 0))
+            g_s = np.zeros(m, dtype=np.int64)
+            bits = all_bits
+            while bits:
+                b = bits & -bits
+                bits ^= b
+                val = np.where((contrib & b) != 0, kidx, -1)
+                acc = np.maximum.accumulate(val)
+                g_s |= np.where(acc >= segstart, b, 0)
+                # A hit's seed may carry bits the chain scan only sees
+                # from the start element; reachability over the segment
+                # covers them because seeds are injected at starts.
+            g_flags[sel] = g_s
+            pg = np.empty(m, dtype=np.int64)
+            pg[0] = 0
+            pg[1:] = g_s[:-1]
+            prev_g[sel] = pg
+        vic_flags_r[b2] = prev_g[b2]
+        seed_eff = np.where(
+            run_hit, np.where(b2, prev_g, seed_base), 0
+        )
+
+        # ---- per-access outputs --------------------------------------
+        hit_sorted = ~change
+        hit_sorted[rsi] = run_hit
+        ob = int(np.bitwise_or.reduce(of))
+        prior_part = np.zeros(n, dtype=np.int64)
+        accp = np.empty(n, dtype=np.int64)
+        bits = ob
+        while bits:
+            b = bits & -bits
+            bits ^= b
+            acc = np.maximum.accumulate(np.where((of & b) != 0, idx, -1))
+            accp[0] = -1
+            accp[1:] = acc[:-1]
+            prior_part |= np.where(accp >= rs, b, 0)
+        gmap_acc = np.cumsum(change) - 1
+        prior_sorted = seed_eff[gmap_acc] | prior_part
+        hit[order] = hit_sorted
+        prior[order] = prior_sorted
+
+        # ---- victims --------------------------------------------------
+        vmask = ~run_hit & (vic_line_r != EMPTY)
+        vic_idx = run_pos0[vmask]
+        vic_line = vic_line_r[vmask]
+        vic_flags = vic_flags_r[vmask]
+        vo = np.argsort(vic_idx, kind="stable")
+
+        # ---- state write-back ----------------------------------------
+        clock = self._clock
+        gstart = np.nonzero(run_first)[0]
+        glast = np.empty(len(gstart), dtype=np.int64)
+        glast[:-1] = gstart[1:] - 1
+        glast[-1] = n_runs - 1
+        run_end = np.empty(n_runs, dtype=np.int64)
+        run_end[:-1] = rsi[1:] - 1
+        run_end[-1] = n - 1
+        two = glast > gstart
+        glast_m1 = np.maximum(glast - 1, 0)
+        mru_line_f = run_line[glast]
+        mru_stamp_f = clock + order[run_end[glast]]
+        mru_flags_f = g_flags[glast]
+        lru_line_f = np.where(two, run_line[glast_m1], pre_lru)
+        lru_stamp_f = np.where(
+            two, clock + order[np.maximum(rsi[glast] - 1, 0)], old_lru_stamp
+        )
+        lru_flags_f = np.where(two, g_flags[glast_m1], f_pre)
+        lru_empty = lru_line_f == EMPTY
+        self.tags[sets_f, 0] = mru_line_f
+        self.stamp[sets_f, 0] = mru_stamp_f
+        self.flags[sets_f, 0] = mru_flags_f
+        self.tags[sets_f, 1] = lru_line_f
+        self.stamp[sets_f, 1] = np.where(lru_empty, EMPTY, lru_stamp_f)
+        self.flags[sets_f, 1] = np.where(lru_empty, 0, lru_flags_f)
+        self._clock = clock + n
+        return hit, prior, vic_idx[vo], vic_line[vo], vic_flags[vo]
+
+    def _ops_scalar_tail(
+        self,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        oflags: np.ndarray,
+        order: np.ndarray,
+        uniq: np.ndarray,
+        start: np.ndarray,
+        counts: np.ndarray,
+        r: int,
+        clock: int,
+        hit: np.ndarray,
+        prior: np.ndarray,
+        vic_i: list[np.ndarray],
+        vic_l: list[np.ndarray],
+        vic_f: list[np.ndarray],
+    ) -> None:
+        """Finish an op stream set by set with dict-based LRU.
+
+        Mirror of :meth:`_scalar_tail` for heterogeneous ops: each
+        remaining set is lifted into an insertion-ordered dict (LRU →
+        MRU, value ``[stamp, flags]``), replayed, and written back.
+        """
+        ways = self.ways
+        tags, stamp, flags = self.tags, self.stamp, self.flags
+        for gi in np.nonzero(counts > r)[0].tolist():
+            s = int(uniq[gi])
+            row_tags = tags[s]
+            row_stamp = stamp[s]
+            row_flags = flags[s]
+            resident: dict[int, list[int]] = {}
+            for w in np.argsort(row_stamp, kind="stable").tolist():
+                if row_tags[w] != EMPTY:
+                    resident[int(row_tags[w])] = [int(row_stamp[w]), int(row_flags[w])]
+            positions = order[start[gi] + r : start[gi] + counts[gi]].tolist()
+            t_idx: list[int] = []
+            t_line: list[int] = []
+            t_flag: list[int] = []
+            for p in positions:
+                line = int(lines[p])
+                kd = int(kinds[p])
+                ent = resident.get(line)
+                if ent is not None:
+                    hit[p] = True
+                    prior[p] = ent[1]
+                    if kd == OP_DEMAND:
+                        del resident[line]
+                        ent[0] = clock + p
+                        ent[1] |= int(oflags[p])
+                        resident[line] = ent
+                    elif kd == OP_TOUCH:
+                        ent[1] |= int(oflags[p])
+                elif kd <= OP_FILL:
+                    if len(resident) >= ways:
+                        victim = next(iter(resident))
+                        v_ent = resident.pop(victim)
+                        t_idx.append(p)
+                        t_line.append(victim)
+                        t_flag.append(v_ent[1])
+                    resident[line] = [clock + p, int(oflags[p])]
+            row_tags[:] = EMPTY
+            row_stamp[:] = EMPTY
+            row_flags[:] = 0
+            for w, (line, ent) in enumerate(resident.items()):
+                row_tags[w] = line
+                row_stamp[w] = ent[0]
+                row_flags[w] = ent[1]
+            if t_idx:
+                vic_i.append(np.asarray(t_idx, dtype=np.int64))
+                vic_l.append(np.asarray(t_line, dtype=np.int64))
+                vic_f.append(np.asarray(t_flag, dtype=np.int64))
 
     # ------------------------------------------------------------------
     # introspection

@@ -248,11 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _configure_engine(args: argparse.Namespace):
     """Install the process-wide engine from the --jobs/--cache/--retries
     option family."""
-    from repro.api import configure
+    from repro.api import SimOptions, configure
     from repro.retry import RetryPolicy
 
     retry = RetryPolicy(
         max_attempts=max(0, args.retries) + 1, timeout=args.cell_timeout
+    )
+    sim_options = (
+        SimOptions(backend=args.sim_backend) if args.sim_backend is not None else None
     )
     return configure(
         jobs=args.jobs,
@@ -261,7 +264,7 @@ def _configure_engine(args: argparse.Namespace):
         progress=True,
         retry=retry,
         strict=args.strict,
-        sim_backend=args.sim_backend,
+        sim_options=sim_options,
     )
 
 

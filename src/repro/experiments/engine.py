@@ -60,7 +60,7 @@ from typing import Callable, Iterable, Sequence
 from repro import faults, obs
 from repro.api import CONFIGS, ExperimentSpec
 from repro.cache import ResultCache, default_cache_dir
-from repro.cachesim.backend import get_default_backend
+from repro.cachesim.options import SimOptions, get_default_options
 from repro.cachesim.stats import RunStats
 from repro.errors import CellFailure, EngineError
 from repro.experiments import runner
@@ -241,23 +241,24 @@ def _compute_group(
     specs: tuple[ExperimentSpec, ...],
     trace: bool = False,
     deterministic: bool = False,
-    sim_backend: str | None = None,
+    sim_options: SimOptions | None = None,
 ) -> tuple[list[tuple[ExperimentSpec, RunStats]], list[dict], dict]:
-    """Worker entry point: simulate one profile-sharing group of cells.
+    """Worker entry point: simulate one batch of grid cells.
 
     Runs in a separate process; ``runner``'s in-process caches make the
-    shared profiling pass and plans compute once per group.  When the
-    parent traces, the worker traces too and ships its finished spans
-    and metrics snapshot back alongside the results — the parent ingests
-    them so one Chrome trace shows every process's track.  The parent's
-    simulation-backend choice ships the same way (spawn-based pools
-    don't inherit it).
+    shared profiling pass, the plans *and* the rewritten-program decode
+    compute once per batch — cells differing only in configuration or
+    simulation options reuse them all.  When the parent traces, the
+    worker traces too and ships its finished spans and metrics snapshot
+    back alongside the results — the parent ingests them so one Chrome
+    trace shows every process's track.  The parent's simulation options
+    ship the same way (spawn-based pools don't inherit them).
     """
     faults.mark_worker()
-    if sim_backend is not None:
-        from repro.cachesim.backend import set_default_backend
+    if sim_options is not None:
+        from repro.cachesim.options import set_default_options
 
-        set_default_backend(sim_backend)
+        set_default_options(sim_options)
     if trace:
         tracer = obs.enable(deterministic=deterministic)
         tracer.clear()  # drop spans inherited from the parent via fork
@@ -546,7 +547,7 @@ class ExperimentEngine:
         deadline = self.retry.timeout
         tracing = obs.enabled()
         deterministic = tracing and obs.get_tracer().deterministic
-        sim_backend = get_default_backend()
+        sim_options = get_default_options()
         dispatch_span = obs.span(
             "engine.dispatch", groups=len(group_list), workers=workers
         )
@@ -562,7 +563,7 @@ class ExperimentEngine:
                             task.specs,
                             tracing,
                             deterministic,
-                            sim_backend,
+                            sim_options,
                         )
                     ] = task
 

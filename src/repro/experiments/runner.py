@@ -35,6 +35,7 @@ from repro import faults, obs
 from repro.api import CONFIGS, PLAN_KINDS, ExperimentSpec
 from repro.baselines.stride_centric import stride_centric_plan
 from repro.cache import ResultCache
+from repro.cachesim.bandwidth import BandwidthModel
 from repro.cachesim.hierarchy import CacheHierarchy
 from repro.cachesim.stats import RunStats
 from repro.config import MachineConfig, get_machine
@@ -222,6 +223,29 @@ def hw_prefetcher_for(machine: MachineConfig, utilisation=None):
     return intel_hw_prefetcher(machine.line_bytes, utilisation)
 
 
+@lru_cache(maxsize=64)
+def _rewritten_execution(
+    workload: str, input_set: str, scale: float, machine_name: str, kind: str
+) -> ExecutionResult:
+    """Rewrite and re-execute one workload under one prefetch plan.
+
+    Decoding (executing) the rewritten program is the most expensive
+    machine-dependent stage of a cell; grid sweeps evaluate the same
+    rewritten program under many configurations (prefetch-honour modes,
+    backend choices, multicore mixes), so one decode serves them all.
+    The memo keys on everything the rewrite depends on: the plan is a
+    function of (workload, machine, kind, scale), the execution seed of
+    (workload, input_set).
+    """
+    profile = profile_for(workload, input_set, scale)
+    plan = _plan(workload, machine_name, kind, scale)
+    with obs.span(
+        "rewrite.apply", workload=workload, machine=machine_name, kind=kind
+    ):
+        rewritten = insert_prefetches(profile.program, plan)
+        return execute_program(rewritten, seed=workload_seed(workload, input_set))
+
+
 def compute_run(spec: ExperimentSpec) -> RunStats:
     """Simulate one cell, unconditionally (no memo, no persistent cache).
 
@@ -232,23 +256,28 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
         faults.check("worker.compute", spec)
     with obs.span("cell.compute", cell=spec.label()):
         machine = get_machine(spec.machine)
-        profile = profile_for_spec(spec)
 
         if spec.config in ("baseline", "hw"):
-            execution = profile.execution
+            execution = profile_for_spec(spec).execution
         else:
-            plan = plan_for_spec(spec)
-            with obs.span("rewrite.apply", cell=spec.label()):
-                rewritten = insert_prefetches(profile.program, plan)
-                execution = execute_program(
-                    rewritten, seed=workload_seed(spec.workload, spec.input_set)
-                )
-
-        hierarchy = CacheHierarchy(machine)
-        if spec.config in ("hw", "hwsw"):
-            hierarchy.prefetcher = hw_prefetcher_for(
-                machine, hierarchy.bandwidth.utilisation
+            execution = _rewritten_execution(
+                spec.workload,
+                spec.input_set,
+                spec.scale,
+                spec.machine,
+                spec.plan_kind,
             )
+
+        # Build the hierarchy fully wired: the batched fast path is
+        # chosen at construction from the attached prefetcher, so the
+        # prefetcher must not be bolted on afterwards.
+        bandwidth = BandwidthModel(machine.bytes_per_cycle())
+        prefetcher = None
+        if spec.config in ("hw", "hwsw"):
+            prefetcher = hw_prefetcher_for(machine, bandwidth.utilisation)
+        hierarchy = CacheHierarchy(
+            machine, prefetcher=prefetcher, bandwidth=bandwidth
+        )
         stats = hierarchy.run(
             execution.trace,
             work_per_memop=execution.work_per_memop,
@@ -312,6 +341,7 @@ def clear_memo() -> None:
     _MEMO.clear()
     _profile.cache_clear()
     _plan.cache_clear()
+    _rewritten_execution.cache_clear()
 
 
 # -- removed stringly-typed entry points --------------------------------

@@ -20,7 +20,16 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 __all__ = ["PrefetchRequest", "HardwarePrefetcher", "NullPrefetcher"]
+
+#: Empty batch result, shared by implementations with nothing to issue.
+_EMPTY_BATCH = (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=bool),
+)
 
 
 @dataclass(frozen=True)
@@ -52,6 +61,54 @@ class HardwarePrefetcher(ABC):
     def reset(self) -> None:
         """Forget all training state (between runs)."""
 
+    def observe_batch(
+        self,
+        pcs: np.ndarray,
+        addrs: np.ndarray,
+        lines: np.ndarray,
+        l1_hits: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Observe a run of demand accesses at once.
+
+        Returns ``(ev, lines, fill_l2)``: for each issued request, the
+        index of the triggering access within this batch (non-decreasing;
+        requests for the same access appear in issue order), the target
+        line, and whether it fills L2.  Must be equivalent to calling
+        :meth:`observe` once per access in order — this default does
+        exactly that; subclasses override it with vectorized
+        implementations.
+        """
+        ev: list[int] = []
+        out_lines: list[int] = []
+        fill: list[bool] = []
+        observe = self.observe
+        pcs_l = pcs.tolist()
+        addrs_l = addrs.tolist()
+        lines_l = lines.tolist()
+        hits_l = l1_hits.tolist()
+        for i in range(len(lines_l)):
+            for req in observe(pcs_l[i], addrs_l[i], lines_l[i], hits_l[i]):
+                ev.append(i)
+                out_lines.append(req.line)
+                fill.append(req.fill_l2)
+        if not ev:
+            return _EMPTY_BATCH
+        return (
+            np.asarray(ev, dtype=np.int64),
+            np.asarray(out_lines, dtype=np.int64),
+            np.asarray(fill, dtype=bool),
+        )
+
+    @property
+    def batch_safe(self) -> bool:
+        """Whether ``observe_batch`` is legal for whole-run batching.
+
+        Throttled prefetchers read time-varying bandwidth utilisation per
+        access, which a single batched call cannot reproduce, so they
+        must be driven through the scalar :meth:`observe` path.
+        """
+        return self._utilisation is None
+
     def _throttle_factor(self) -> float:
         """Scale factor in (0, 1] applied to prefetch degree.
 
@@ -75,6 +132,15 @@ class NullPrefetcher(HardwarePrefetcher):
 
     def observe(self, pc: int, addr: int, line: int, l1_hit: bool) -> list[PrefetchRequest]:
         return []
+
+    def observe_batch(
+        self,
+        pcs: np.ndarray,
+        addrs: np.ndarray,
+        lines: np.ndarray,
+        l1_hits: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _EMPTY_BATCH
 
     def reset(self) -> None:
         pass

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.hwpref.base import HardwarePrefetcher, PrefetchRequest
 
 __all__ = ["AdjacentLinePrefetcher"]
@@ -38,6 +40,25 @@ class AdjacentLinePrefetcher(HardwarePrefetcher):
             # to be gated off.
             return []
         return [PrefetchRequest(line ^ 1)]
+
+    def observe_batch(
+        self,
+        pcs: np.ndarray,
+        addrs: np.ndarray,
+        lines: np.ndarray,
+        l1_hits: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._utilisation is not None:
+            # Throttled: per-access gating is time-dependent; use the
+            # scalar fallback so behaviour matches observe().
+            return super().observe_batch(pcs, addrs, lines, l1_hits)
+        if self.on_miss_only:
+            ev = np.nonzero(~np.asarray(l1_hits, dtype=bool))[0].astype(np.int64)
+            targets = np.asarray(lines, dtype=np.int64)[ev] ^ 1
+        else:
+            ev = np.arange(len(lines), dtype=np.int64)
+            targets = np.asarray(lines, dtype=np.int64) ^ 1
+        return ev, targets, np.ones(len(ev), dtype=bool)
 
     def reset(self) -> None:
         pass

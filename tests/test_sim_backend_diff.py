@@ -14,7 +14,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.cachesim import CacheHierarchy, FunctionalCacheSim
+from repro.cachesim import BandwidthModel, CacheHierarchy, FunctionalCacheSim
 from repro.cachesim.backend import (
     BACKENDS,
     get_default_backend,
@@ -23,10 +23,34 @@ from repro.cachesim.backend import (
 )
 from repro.cachesim.fastlru import FastLRUCache
 from repro.cachesim.lru import FLAG_DIRTY, FLAG_NTA, LRUCache
+from repro.cachesim.options import (
+    SimOptions,
+    get_default_options,
+    resolve_options,
+    set_default_options,
+)
 from repro.config import CacheConfig, MachineConfig
 from repro.errors import ConfigError
-from repro.hwpref import GHBPrefetcher, PCStridePrefetcher
+from repro.hwpref import (
+    AdjacentLinePrefetcher,
+    GHBPrefetcher,
+    NullPrefetcher,
+    PCStridePrefetcher,
+    StreamerPrefetcher,
+    amd_hw_prefetcher,
+    intel_hw_prefetcher,
+)
 from repro.trace import MemOp, MemoryTrace
+
+PREFETCHER_FACTORIES = {
+    "null": NullPrefetcher,
+    "adjacent": AdjacentLinePrefetcher,
+    "stride": PCStridePrefetcher,
+    "ghb": GHBPrefetcher,
+    "streamer": StreamerPrefetcher,
+    "amd": amd_hw_prefetcher,
+    "intel": intel_hw_prefetcher,
+}
 
 
 def random_trace(rng, n, footprint_lines, prefetch_share=0.0, all_ops=False):
@@ -176,6 +200,329 @@ class TestHierarchyDifferential:
     def test_full_machine_model(self, amd, rng):
         trace = random_trace(rng, 8000, 4096, all_ops=True)
         self._compare(amd, trace, work_per_memop=8.0, mlp=4.0)
+
+
+def pc_correlated_trace(rng, n, hot_lines=64, n_streams=5, nta_share=0.0, sw_share=0.0):
+    """Demand-heavy trace with PC-correlated streams (prefetchers fire)."""
+    hot = rng.integers(0, hot_lines, n) * 64
+    sid = rng.integers(0, n_streams, n)
+    prog = np.zeros(n, dtype=np.int64)
+    for s in range(n_streams):
+        m = sid == s
+        prog[m] = np.arange(m.sum())
+    stream = (1 << 22) + sid * (1 << 18) + prog * 8 * (1 + (sid % 4))
+    pick = rng.random(n)
+    addr = np.where(pick < 0.6, hot, stream)
+    pc = np.where(pick < 0.6, 900 + (hot // 64) % 7, 100 + sid)
+    op = np.where(rng.random(n) < 0.3, int(MemOp.STORE), int(MemOp.LOAD))
+    roll = rng.random(n)
+    op = np.where(roll < sw_share, int(MemOp.PREFETCH), op)
+    op = np.where(
+        (roll >= sw_share) & (roll < sw_share + nta_share),
+        int(MemOp.PREFETCH_NTA),
+        op,
+    )
+    return MemoryTrace(pc.astype(np.int64), addr.astype(np.int64), op.astype(np.int64))
+
+
+RUNSTAT_FIELDS = (
+    "sw_prefetches", "sw_useful", "sw_useless", "sw_late",
+    "hw_prefetches", "hw_useful", "hw_useless",
+    "dram_fills", "nta_fills", "dram_writebacks", "nt_store_writes",
+)
+
+
+def compare_hierarchies(machine, traces, factory, bandwidth=False, **run_kw):
+    """Run the same traces under both backends; assert bit-identity.
+
+    Returns the fast hierarchy so callers can assert on the path taken.
+    """
+    hiers = {}
+    for backend in BACKENDS:
+        m = replace(machine, sim_backend=backend)
+        bw = BandwidthModel(m.bytes_per_cycle()) if bandwidth else None
+        hiers[backend] = CacheHierarchy(m, prefetcher=factory(), bandwidth=bw)
+    for trace in traces:
+        stats = {b: h.run(trace, **run_kw) for b, h in hiers.items()}
+        ref, fast = stats["reference"], stats["fast"]
+        assert ref.cycles == fast.cycles  # bit-identical, not approx
+        assert (ref.l1, ref.l2, ref.llc) == (fast.l1, fast.l2, fast.llc)
+        for name in RUNSTAT_FIELDS:
+            assert getattr(ref, name) == getattr(fast, name), name
+        assert ref.pc_l1.accesses == fast.pc_l1.accesses
+        assert ref.pc_l1.misses == fast.pc_l1.misses
+    ref_h, fast_h = hiers["reference"], hiers["fast"]
+    assert ref_h.now == fast_h.now
+    assert ref_h._inflight == fast_h._inflight
+    for lvl in ("l1", "l2", "llc"):
+        assert sorted(getattr(ref_h, lvl).resident_lines()) == sorted(
+            getattr(fast_h, lvl).resident_lines()
+        )
+    return fast_h
+
+
+class TestHierarchyBatchParity:
+    """The whole-hierarchy batched fast path vs the scalar reference."""
+
+    @pytest.mark.parametrize("model", sorted(PREFETCHER_FACTORIES))
+    def test_every_prefetcher_model_batch_parity(self, amd, rng, model):
+        traces = [pc_correlated_trace(rng, 5000) for _ in range(2)]
+        fast_h = compare_hierarchies(
+            amd, traces, PREFETCHER_FACTORIES[model], work_per_memop=2.0, mlp=2.0
+        )
+        # pure-demand traces must engage the batched pipeline
+        assert fast_h.last_run_path == "batch"
+
+    def test_nta_bypass_parity(self, amd, rng):
+        traces = [pc_correlated_trace(rng, 5000, nta_share=0.05, sw_share=0.05)]
+        compare_hierarchies(
+            amd, traces, GHBPrefetcher, work_per_memop=2.0, mlp=2.0
+        )
+
+    @pytest.mark.parametrize("bandwidth", [False, True])
+    def test_bandwidth_model_on_off(self, amd, rng, bandwidth):
+        traces = [pc_correlated_trace(rng, 5000)]
+        compare_hierarchies(
+            amd, traces, StreamerPrefetcher, bandwidth=bandwidth,
+            work_per_memop=2.0, mlp=2.0,
+        )
+
+    def test_throttled_prefetcher_uses_scalar_path(self, amd):
+        # A utilisation-throttled prefetcher is not batch-safe: the fast
+        # backend must fall back to per-event observation, identically.
+        trace = pc_correlated_trace(np.random.default_rng(7), 4000)
+        results = {}
+        for backend in BACKENDS:
+            m = replace(amd, sim_backend=backend)
+            bw = BandwidthModel(m.bytes_per_cycle())
+            pf = amd_hw_prefetcher(m.line_bytes, bw.utilisation)
+            h = CacheHierarchy(m, prefetcher=pf, bandwidth=bw)
+            results[backend] = (h.run(trace, work_per_memop=2.0, mlp=2.0), h)
+        ref, fast = results["reference"][0], results["fast"][0]
+        assert ref.cycles == fast.cycles
+        assert ref.hw_prefetches == fast.hw_prefetches
+        assert results["fast"][1].last_run_path != "batch"
+
+
+class TestObserveBatchParity:
+    """observe_batch must equal an observe() loop, per model, with state."""
+
+    @pytest.mark.parametrize("model", sorted(PREFETCHER_FACTORIES))
+    def test_batch_equals_scalar_loop(self, rng, model):
+        scalar_pf = PREFETCHER_FACTORIES[model]()
+        batch_pf = PREFETCHER_FACTORIES[model]()
+        for _ in range(2):  # second batch checks carried training state
+            trace = pc_correlated_trace(rng, 2000)
+            lines = trace.addr // 64
+            hits = rng.random(len(lines)) < 0.5
+            ev, tgt, fill = [], [], []
+            for i in range(len(lines)):
+                for req in scalar_pf.observe(
+                    int(trace.pc[i]), int(trace.addr[i]), int(lines[i]), bool(hits[i])
+                ):
+                    ev.append(i)
+                    tgt.append(req.line)
+                    fill.append(req.fill_l2)
+            bev, btgt, bfill = batch_pf.observe_batch(
+                trace.pc, trace.addr, lines, hits
+            )
+            assert np.array_equal(np.asarray(ev, dtype=np.int64), bev)
+            assert np.array_equal(np.asarray(tgt, dtype=np.int64), btgt)
+            assert np.array_equal(np.asarray(fill, dtype=bool), bfill)
+
+    def test_ghb_fifo_eviction_fallback(self, rng):
+        # A batch that would overflow the PC table must take the flat
+        # fallback and still match the scalar loop exactly, including
+        # FIFO eviction order.
+        scalar_pf = GHBPrefetcher(table_size=8)
+        batch_pf = GHBPrefetcher(table_size=8)
+        trace = pc_correlated_trace(rng, 1500, n_streams=11)
+        lines = trace.addr // 64
+        hits = np.zeros(len(lines), dtype=bool)
+        ev, tgt = [], []
+        for i in range(len(lines)):
+            for req in scalar_pf.observe(
+                int(trace.pc[i]), int(trace.addr[i]), int(lines[i]), False
+            ):
+                ev.append(i)
+                tgt.append(req.line)
+        bev, btgt, _ = batch_pf.observe_batch(trace.pc, trace.addr, lines, hits)
+        assert np.array_equal(np.asarray(ev, dtype=np.int64), bev)
+        assert np.array_equal(np.asarray(tgt, dtype=np.int64), btgt)
+        assert list(scalar_pf._table) == list(batch_pf._table)
+        for pc in scalar_pf._table:
+            assert list(scalar_pf._table[pc]) == list(batch_pf._table[pc])
+
+    def test_ghb_vectorised_state_matches(self, rng):
+        scalar_pf = GHBPrefetcher()
+        batch_pf = GHBPrefetcher()
+        trace = pc_correlated_trace(rng, 2000)
+        lines = trace.addr // 64
+        for i in range(len(lines)):
+            scalar_pf.observe(int(trace.pc[i]), int(trace.addr[i]), int(lines[i]), False)
+        batch_pf.observe_batch(
+            trace.pc, trace.addr, lines, np.zeros(len(lines), dtype=bool)
+        )
+        assert list(scalar_pf._table) == list(batch_pf._table)
+        for pc in scalar_pf._table:
+            assert list(scalar_pf._table[pc]) == list(batch_pf._table[pc])
+
+
+class TestDemand2WayKernel:
+    """The round-free 2-way demand kernel vs chunked replay of itself.
+
+    Chunks of <= 2 ops never dispatch to the kernel (it requires n > 2),
+    so a second cache fed the same stream two ops at a time replays the
+    exact per-op semantics through the generic path — an in-family
+    oracle independent of the run decomposition.
+    """
+
+    def test_kernel_matches_chunked_replay(self, rng):
+        from repro.cachesim.fastlru import OP_DEMAND
+
+        config = CacheConfig("T", 64 * 2 * 64, ways=2, line_bytes=64)
+        for trial in range(6):
+            kern = FastLRUCache(config)
+            oracle = FastLRUCache(config)
+            n = 500 + trial * 331
+            lines = rng.integers(0, 48, n) * (1 + rng.integers(0, 4, n))
+            flags = rng.integers(0, 4, n) * FLAG_DIRTY
+            kinds = np.zeros(n, dtype=np.int64)
+            kh, kp, kvi, kvl, kvf = kern.ops_batch(lines, kinds, flags)
+            oh = np.empty(0, dtype=bool)
+            op_ = np.empty(0, dtype=np.int64)
+            ovi, ovl, ovf = [], [], []
+            for s in range(0, n, 2):
+                h, p, vi, vl, vf = oracle.ops_batch(
+                    lines[s : s + 2], kinds[s : s + 2], flags[s : s + 2]
+                )
+                oh = np.concatenate((oh, h))
+                op_ = np.concatenate((op_, p))
+                ovi.extend((vi + s).tolist())
+                ovl.extend(vl.tolist())
+                ovf.extend(vf.tolist())
+            assert np.array_equal(kh, oh)
+            assert np.array_equal(kp, op_)
+            assert kvi.tolist() == ovi
+            assert kvl.tolist() == ovl
+            assert kvf.tolist() == ovf
+            assert sorted(kern.resident_lines()) == sorted(oracle.resident_lines())
+            for line in kern.resident_lines():
+                assert kern.peek_flags(line) == oracle.peek_flags(line)
+            kern.check_invariants()
+
+
+class TestSimOptionsPrecedence:
+    def test_explicit_beats_spec_and_default(self):
+        previous = set_default_options(SimOptions(backend="reference"))
+        try:
+            opts = resolve_options(SimOptions(backend="fast"), "reference")
+            assert opts.backend == "fast"
+            assert resolve_options("fast", "reference").backend == "fast"
+        finally:
+            set_default_options(previous)
+
+    def test_spec_beats_default(self):
+        previous = set_default_options(SimOptions(backend="reference"))
+        try:
+            assert resolve_options(None, "fast").backend == "fast"
+        finally:
+            set_default_options(previous)
+
+    def test_default_applies_last(self):
+        previous = set_default_options(SimOptions(backend="fast"))
+        try:
+            assert resolve_options(None, None).backend == "fast"
+        finally:
+            set_default_options(previous)
+
+    def test_options_carry_batch_hierarchy_flag(self):
+        previous = set_default_options(
+            SimOptions(backend="fast", batch_hierarchy=False)
+        )
+        try:
+            assert resolve_options(None, None).batch_hierarchy is False
+        finally:
+            set_default_options(previous)
+
+    def test_frozen_and_validated(self):
+        opts = SimOptions(backend="fast")
+        with pytest.raises(Exception):
+            opts.backend = "reference"  # type: ignore[misc]
+        with pytest.raises(ConfigError):
+            SimOptions(backend="turbo")
+        with pytest.raises(ConfigError):
+            set_default_options("fast")  # type: ignore[arg-type]
+
+    def test_batch_hierarchy_false_forces_chunked_path(self, amd, rng):
+        trace = pc_correlated_trace(rng, 3000)
+        m = replace(amd, sim_backend="fast")
+        h_off = CacheHierarchy(m, options=SimOptions(batch_hierarchy=False))
+        s_off = h_off.run(trace, work_per_memop=2.0, mlp=2.0)
+        h_on = CacheHierarchy(m)
+        s_on = h_on.run(trace, work_per_memop=2.0, mlp=2.0)
+        assert h_off.last_run_path != "batch"
+        assert h_on.last_run_path == "batch"
+        assert s_off.cycles == s_on.cycles  # path choice never changes results
+
+    def test_api_configure_sim_options(self):
+        from repro import api
+
+        previous = get_default_options()
+        try:
+            api.configure(sim_options=SimOptions(backend="fast"))
+            assert get_default_options().backend == "fast"
+            assert get_default_backend() == "fast"
+        finally:
+            set_default_options(previous)
+            api.reset_default_engine()
+
+    def test_api_sim_backend_kwarg_deprecated(self):
+        import warnings
+
+        from repro import api
+
+        previous = get_default_options()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                api.configure(sim_backend="fast")
+            assert any(
+                issubclass(w.category, DeprecationWarning) for w in caught
+            )
+            assert get_default_backend() == "fast"
+        finally:
+            set_default_options(previous)
+            api.reset_default_engine()
+
+
+class TestPathObservability:
+    def test_path_counters_and_span_attribute(self, amd, rng):
+        from repro import obs
+
+        obs.disable()
+        obs.reset_metrics()
+        obs.enable()
+        try:
+            trace = pc_correlated_trace(rng, 3000)
+            fast = CacheHierarchy(replace(amd, sim_backend="fast"))
+            fast.run(trace, work_per_memop=2.0, mlp=2.0)
+            ref = CacheHierarchy(replace(amd, sim_backend="reference"))
+            ref.run(trace, work_per_memop=2.0, mlp=2.0)
+            assert fast.last_run_path == "batch"
+            assert ref.last_run_path == "scalar"
+            snap = obs.metrics().snapshot()
+            assert snap["sim.hierarchy.path.batch"]["value"] >= 1
+            assert snap["sim.hierarchy.path.scalar"]["value"] >= 1
+            paths = [
+                s["attrs"].get("path")
+                for s in obs.drain_spans()
+                if s["name"] == "cachesim.run"
+            ]
+            assert "batch" in paths and "scalar" in paths
+        finally:
+            obs.disable()
+            obs.reset_metrics()
 
 
 class TestBackendSelection:
