@@ -1,0 +1,94 @@
+"""Recovery-overhead benchmark: what does crash-safety cost?
+
+Runs the same 12-cell cold grid as ``bench_engine_scaling`` twice —
+unjournaled, then under a durable (fsync'd) run journal — and reports
+both wall clocks plus the journal's own accounting
+(``RunJournal.write_seconds``: the summed wall time of every append +
+fsync).
+
+The **gate** is on the precise number, not the noisy one: the journal's
+write time must stay ≤ 5 % of the journaled run's wall clock.  The A/B
+wall-clock ratio is recorded ungated in the artifact — on a loaded CI
+box two back-to-back cold runs of the simulator differ by more than the
+journal costs, so gating the ratio would only gate the scheduler.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import save_artifact
+
+from repro.api import ExperimentEngine, ExperimentSpec
+from repro.experiments import runner
+from repro.experiments.journal import RunJournal, replay_journal
+from repro.experiments.tables import render_table
+
+WORKLOADS = ("libquantum", "mcf", "lbm", "soplex")
+MACHINE = "amd-phenom-ii"
+GRID_CONFIGS = ("baseline", "hw", "swnt")
+
+#: Hard ceiling on journal-write time as a fraction of journaled wall.
+OVERHEAD_BUDGET = 0.05
+
+
+def test_recovery_overhead(bench_scale, results_dir):
+    specs = ExperimentSpec.grid(
+        WORKLOADS, (MACHINE,), GRID_CONFIGS, scales=(bench_scale,)
+    )
+    runs_dir = tempfile.mkdtemp(prefix="repro-bench-runs-")
+    try:
+        runner.clear_memo()
+        plain = ExperimentEngine(jobs=1)
+        start = time.perf_counter()
+        plain.run(specs)
+        t_plain = time.perf_counter() - start
+
+        runner.clear_memo()
+        journal = RunJournal.create(run_id="bench-overhead", runs_dir=runs_dir)
+        journaled = ExperimentEngine(jobs=1, journal=journal)
+        start = time.perf_counter()
+        journaled.run(specs)
+        t_journaled = time.perf_counter() - start
+        journal.finish(cells=len(specs))
+        journal.close()
+
+        replay = replay_journal(journal.path, "bench-overhead")
+        assert len(replay.completed) == len(specs)
+        assert replay.finished
+
+        fraction = journal.write_seconds / max(t_journaled, 1e-9)
+        assert fraction <= OVERHEAD_BUDGET, (
+            f"journal writes took {fraction:.1%} of the journaled run "
+            f"({journal.write_seconds:.3f}s of {t_journaled:.2f}s); "
+            f"budget is {OVERHEAD_BUDGET:.0%}"
+        )
+    finally:
+        shutil.rmtree(runs_dir, ignore_errors=True)
+        runner.clear_memo()
+
+    cells = len(specs)
+    rows = [
+        ("unjournaled (jobs=1)", f"{t_plain:.2f}", "-", "-"),
+        (
+            "journaled, fsync (jobs=1)",
+            f"{t_journaled:.2f}",
+            f"{journal.write_seconds:.3f}",
+            f"{fraction:.2%}",
+        ),
+        ("A/B wall ratio (ungated)", f"{t_journaled / max(t_plain, 1e-9):.3f}x", "", ""),
+        (f"gate: journal time <= {OVERHEAD_BUDGET:.0%}", "PASS", "", ""),
+    ]
+    text = render_table(
+        ("regime", "wall (s)", "journal (s)", "journal/wall"),
+        rows,
+        title=(
+            f"Recovery overhead — {cells}-cell cold grid "
+            f"({journal.appended} records, scale {bench_scale:g}, "
+            f"{os.cpu_count()} CPU)"
+        ),
+    )
+    save_artifact(results_dir, "recovery_overhead.txt", text)

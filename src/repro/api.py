@@ -53,6 +53,8 @@ __all__ = [
     "plan",
     "run",
     "run_many",
+    "run_journaled",
+    "resume_run",
     "validate",
     "configure",
     "current_engine",
@@ -209,6 +211,101 @@ def run_many(
     return (engine or current_engine()).run(specs)
 
 
+def run_journaled(
+    specs: Iterable[ExperimentSpec],
+    run_id: str | None = None,
+    runs_dir=None,
+    engine: "ExperimentEngine | None" = None,
+    fsync: bool = True,
+) -> tuple[str, dict[ExperimentSpec, "RunStats"]]:
+    """Run many cells under a durable run journal; resumable if killed.
+
+    Every dispatched group and completed cell is appended to a
+    checksummed, fsync'd journal under ``<runs_dir>/<run_id>/`` (see
+    :mod:`repro.experiments.journal`), so a SIGKILLed or power-cut run
+    loses nothing already journaled: :func:`resume_run` replays the
+    journal and re-dispatches only the missing cells, with bit-identical
+    final results.  While the run is live, SIGINT/SIGTERM drain in-flight
+    work and raise :class:`~repro.errors.RunInterrupted` (CLI exit 75).
+
+    Returns ``(run_id, results)``.
+    """
+    from repro.experiments.journal import RunJournal
+
+    specs = list(dict.fromkeys(specs))
+    journal = RunJournal.create(run_id=run_id, runs_dir=runs_dir, fsync=fsync)
+    eng = engine if engine is not None else current_engine()
+    previous = eng.journal
+    try:
+        eng.journal = journal
+        results = eng.run(specs)
+        journal.finish(cells=len(results), failed=len(eng.last_failures))
+        return journal.run_id, results
+    finally:
+        eng.journal = previous
+        journal.close()
+
+
+def resume_run(
+    run_id: str,
+    runs_dir=None,
+    engine: "ExperimentEngine | None" = None,
+    fsync: bool = True,
+) -> tuple[str, dict[ExperimentSpec, "RunStats"]]:
+    """Resume an interrupted journaled run from its journal.
+
+    Replays ``<runs_dir>/<run_id>/journal.jsonl`` (tolerating the torn
+    tail a killed writer leaves), seeds every journaled result back into
+    the runner memo, and re-runs the original spec list — completed
+    cells resolve as memo hits, so only the interrupted remainder is
+    re-dispatched, deterministically.  Raises
+    :class:`~repro.experiments.journal.JournalError` for a missing or
+    incompatible journal.  Returns ``(run_id, results)``.
+    """
+    from repro import obs
+    from repro.core import serialization
+    from repro.errors import AnalysisError
+    from repro.experiments import runner
+    from repro.experiments.journal import RunJournal
+
+    journal, replay = RunJournal.open(run_id, runs_dir=runs_dir, fsync=fsync)
+    eng = engine if engine is not None else current_engine()
+    seeded = 0
+    for spec, payload in replay.completed.items():
+        try:
+            stats = serialization.stats_from_dict(payload)
+        except (AnalysisError, KeyError, TypeError, ValueError):
+            # Unusable payload (codec drift mid-run?): recompute the cell
+            # and let the journal re-record it.
+            journal.done.discard(spec)
+            continue
+        runner.seed_memo(spec, stats)
+        seeded += 1
+    pending = len(replay.specs) - seeded
+    if obs.enabled():
+        reg = obs.metrics()
+        reg.counter("engine.resume.runs").inc()
+        reg.counter("engine.resume.seeded_cells").inc(seeded)
+        reg.counter("engine.resume.pending_cells").inc(pending)
+        if replay.torn_tail:
+            reg.counter("engine.resume.torn_tails").inc()
+        if replay.corrupt_records:
+            reg.counter("engine.resume.corrupt_records").inc(replay.corrupt_records)
+    previous = eng.journal
+    try:
+        with obs.span(
+            "engine.resume", run_id=journal.run_id, seeded=seeded, pending=pending
+        ):
+            eng.journal = journal
+            results = eng.run(replay.specs)
+        if not replay.finished or len(results) > len(replay.completed):
+            journal.finish(cells=len(results), failed=len(eng.last_failures))
+        return journal.run_id, results
+    finally:
+        eng.journal = previous
+        journal.close()
+
+
 def validate(
     corpus_seed: int = 0,
     quick: bool = True,
@@ -251,6 +348,7 @@ def configure(
     deterministic_trace: bool = False,
     sim_options: SimOptions | None = None,
     sim_backend: str | None = None,
+    cache_quota: int | None = None,
 ) -> "ExperimentEngine":
     """Install and return the process-wide default engine.
 
@@ -274,6 +372,10 @@ def configure(
     sim_backend:
         Deprecated alias for ``sim_options=SimOptions(backend=...)``;
         still functional, emits a :class:`DeprecationWarning`.
+    cache_quota:
+        Size budget in bytes for the on-disk result cache; the engine
+        evicts least-recently-used entries past it at startup and after
+        every store (``None`` = unbounded).
     """
     from repro import obs
     from repro.cachesim.options import set_default_options
@@ -301,6 +403,7 @@ def configure(
         progress=progress,
         retry=retry,
         strict=strict,
+        cache_quota=cache_quota,
     )
 
 

@@ -21,13 +21,29 @@ Two artefact kinds are stored, both as JSON via
 * ``sampling`` — :class:`~repro.sampling.sampler.SamplingResult`, one per
   (workload, input_set, scale, rate) profiling pass.
 
-Unreadable or format-mismatched entries are treated as misses and
-removed, so a corrupted cache degrades to a cold one.
+Durability and self-healing
+---------------------------
+
+Every entry is stored as its payload JSON plus a **length + SHA-256
+footer** (``#repro-cache-entry-v1 len=… sha256=…``) verified on read.
+Torn writes, truncation and bit flips are therefore *detected*, and a
+bad entry is **quarantined** (moved under ``<root>/quarantine/``),
+counted, and served as a miss — never crashed on and never silently
+replayed.  Writes are atomic (private temp file, ``fsync``, then
+``os.replace``); a full disk (``ENOSPC``/``EDQUOT``) or a cross-device
+rename downgrades the cache to **read-only** with a counted warning
+instead of failing the run.  ``verify()`` audits every entry on demand,
+``gc()`` reclaims quarantine/temp debris, and ``enforce_quota()`` gives
+the store a size budget with least-recently-used eviction (read hits
+bump an entry's mtime) — the quota machinery the serve daemon reuses
+per tenant.  The ``repro cache verify|gc|stats`` subcommands surface
+all three.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import os
@@ -35,21 +51,39 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import faults
+from repro import faults, obs
 from repro.api import ExperimentSpec
 from repro.config import get_machine
 from repro.core import serialization
 from repro.errors import AnalysisError, ConfigError
 
-__all__ = ["ResultCache", "CacheCounters", "default_cache_dir", "CACHE_EPOCH"]
+__all__ = [
+    "ResultCache",
+    "CacheCounters",
+    "IntegrityCounters",
+    "VerifyReport",
+    "default_cache_dir",
+    "CACHE_EPOCH",
+    "ENTRY_FORMAT",
+]
 
 #: Bump to invalidate every existing cache entry (e.g. after a change to
 #: the simulator or analysis pipeline that alters results without
-#: touching any keyed setting).
-CACHE_EPOCH = 1
+#: touching any keyed setting).  Epoch 2: checksummed entry footers.
+CACHE_EPOCH = 2
+
+#: On-disk entry envelope version (the footer line's leading token).
+ENTRY_FORMAT = "#repro-cache-entry-v1"
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Errnos that flip the cache read-only instead of failing the run.
+_READONLY_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EDQUOT, errno.EXDEV, errno.EROFS, errno.EACCES, errno.EPERM}
+)
+
+_LOG = obs.get_logger("repro.cache")
 
 
 def default_cache_dir() -> Path:
@@ -70,6 +104,46 @@ class CacheCounters:
         return (self.hits, self.misses, self.stores)
 
 
+@dataclasses.dataclass
+class IntegrityCounters:
+    """Self-healing accounting: what the cache detected and did about it.
+
+    ``corrupt`` entries failed their footer/CRC check on read or during
+    ``verify()``; every one of them is ``quarantined`` (or unlinked when
+    the move itself fails).  ``evicted`` counts quota evictions,
+    ``write_errors`` the stores that were downgraded after IO trouble
+    (the read-only transition logs once).
+    """
+
+    corrupt: int = 0
+    quarantined: int = 0
+    evicted: int = 0
+    write_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultCache.verify` audit."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    quarantined: list[str] = dataclasses.field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        verdict = "clean" if self.corrupt == 0 else f"{self.corrupt} corrupt entr(y/ies)"
+        line = f"cache verify: {self.checked} checked | {self.ok} ok | {verdict}"
+        if self.quarantined:
+            line += "\nquarantined:\n" + "\n".join(f"  {name}" for name in self.quarantined)
+        return line
+
+
 class ResultCache:
     """Directory-backed cache of simulation results and profiles.
 
@@ -77,13 +151,26 @@ class ResultCache:
     ----------
     root:
         Cache directory; created lazily on first store.  Layout is
-        ``root/<kind>/<key[:2]>/<key>.json`` to keep directories small.
+        ``root/<kind>/<key[:2]>/<key>.json`` plus ``root/quarantine/``
+        for entries that failed their integrity check.
+    quota_bytes:
+        Optional size budget for :meth:`enforce_quota` (least-recently
+        used entries are evicted first; ``None`` disables eviction).
     """
 
-    def __init__(self, root: str | Path) -> None:
+    KINDS = ("stats", "sampling")
+
+    def __init__(self, root: str | Path, quota_bytes: int | None = None) -> None:
         self.root = Path(root)
+        self.quota_bytes = quota_bytes
         self.stats = CacheCounters()
         self.sampling = CacheCounters()
+        self.integrity = IntegrityCounters()
+        #: Per-class sweep counters (see :meth:`sweep_stale_tmp`).
+        self.swept: dict[str, int] = {"tmp": 0, "quarantine": 0, "journal": 0}
+        #: Set after an ``ENOSPC``-class store failure: reads keep
+        #: working, writes are skipped (and counted) from then on.
+        self.read_only = False
 
     # -- keys ----------------------------------------------------------
 
@@ -108,9 +195,7 @@ class ResultCache:
         }
         return _digest(document)
 
-    def sampling_key(
-        self, workload: str, input_set: str, scale: float, rate: float
-    ) -> str:
+    def sampling_key(self, workload: str, input_set: str, scale: float, rate: float) -> str:
         """Content address of one profiling pass's :class:`SamplingResult`."""
         document = {
             "kind": "sampling",
@@ -155,18 +240,16 @@ class ResultCache:
 
     def put_stats(self, spec: ExperimentSpec, profile_rate: float, stats) -> None:
         """Store one grid cell's result."""
-        self._write(
+        if self._write(
             "stats",
             self.stats_key(spec, profile_rate),
             serialization.stats_to_dict(stats),
-        )
-        self.stats.stores += 1
+        ):
+            self.stats.stores += 1
 
     # -- sampling ------------------------------------------------------
 
-    def get_sampling(
-        self, workload: str, input_set: str, scale: float, rate: float
-    ):
+    def get_sampling(self, workload: str, input_set: str, scale: float, rate: float):
         """Cached :class:`SamplingResult`, or ``None`` on a miss."""
         key = self.sampling_key(workload, input_set, scale, rate)
         data = self._read("sampling", key)
@@ -186,78 +269,272 @@ class ResultCache:
     ) -> None:
         """Store one profiling pass's sampling result."""
         key = self.sampling_key(workload, input_set, scale, rate)
-        self._write("sampling", key, serialization.sampling_to_dict(sampling))
-        self.sampling.stores += 1
+        if self._write("sampling", key, serialization.sampling_to_dict(sampling)):
+            self.sampling.stores += 1
 
     # -- file plumbing -------------------------------------------------
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
     def _read(self, kind: str, key: str) -> dict | None:
         path = self._path(kind, key)
         if faults.ACTIVE:
             faults.check("cache.read", key)
         try:
-            text = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             return None
+        data = _verify_entry(raw)
+        if data is None:
+            # Torn, truncated, or bit-flipped entry: quarantine it so it
+            # stops costing a parse attempt and stays inspectable.
+            self._quarantine(path, kind)
+            return None
+        # LRU recency for quota eviction: a hit makes the entry young.
         try:
-            data = json.loads(text)
-        except json.JSONDecodeError:
-            # Corrupted entry (interrupted writer from a pre-atomic era,
-            # disk trouble): drop it so it stops costing a parse attempt.
+            os.utime(path)
+        except OSError:
+            pass
+        return data
+
+    def _write(self, kind: str, key: str, data: dict) -> bool:
+        """Durably publish one entry; returns whether the store happened.
+
+        The payload and its integrity footer land in a private temp
+        file, which is ``fsync``'d *before* the atomic rename — a crash
+        at any point leaves either the old entry or the complete new
+        one, never a torn file that parses.  ``ENOSPC``-class failures
+        (full disk, quota, read-only or cross-device target) downgrade
+        the cache to read-only with a counted warning: the run keeps
+        computing, it just stops persisting.
+        """
+        if self.read_only:
+            self.integrity.write_errors += 1
+            return False
+        path = self._path(kind, key)
+        if faults.ACTIVE:
+            faults.check("cache.write", key)
+        tmp_name = None
+        try:
+            if faults.ACTIVE:
+                faults.check("disk.enospc", key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent writers (parallel engine
+            # workers, parallel CLI invocations) each rename a private
+            # temp file into place; last writer wins with an identical
+            # document.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_encode_entry(data))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+            tmp_name = None
+        except OSError as exc:
+            if exc.errno not in _READONLY_ERRNOS:
+                raise
+            self._downgrade_to_read_only(exc)
+            return False
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        if faults.ACTIVE:
+            if faults.should_corrupt("cache.write", key):
+                path.write_text("")  # simulate a torn write surviving on disk
+            if faults.should_corrupt("cache.torn_write", key):
+                # Simulate a write torn mid-entry: keep only the first half
+                # of the bytes, which the footer check must catch on read.
+                raw = path.read_bytes()
+                path.write_bytes(raw[: len(raw) // 2])
+        return True
+
+    def _downgrade_to_read_only(self, exc: OSError) -> None:
+        self.integrity.write_errors += 1
+        if not self.read_only:
+            self.read_only = True
+            _LOG.warning(
+                "[cache] %s: store failed (%s); cache is now read-only for "
+                "this process — results keep computing, they just stop "
+                "persisting",
+                self.root,
+                exc,
+            )
+        if obs.enabled():
+            obs.metrics().counter("cache.integrity.write_errors").inc()
+
+    def _quarantine(self, path: Path, kind: str) -> None:
+        """Move one corrupt entry out of the addressable tree; count it."""
+        self.integrity.corrupt += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / f"{kind}-{path.name}")
+            self.integrity.quarantined += 1
+        except OSError:
+            # Quarantine itself failed (read-only fs?); at least try to
+            # stop the entry from being re-parsed forever.
             try:
                 path.unlink()
             except OSError:
                 pass
-            return None
-        return data if isinstance(data, dict) else None
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("cache.integrity.corrupt").inc()
+            reg.counter("cache.integrity.quarantined").inc()
 
-    def _write(self, kind: str, key: str, data: dict) -> None:
-        path = self._path(kind, key)
-        if faults.ACTIVE:
-            faults.check("cache.write", key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: concurrent writers (parallel engine workers,
-        # parallel CLI invocations) each rename a private temp file into
-        # place; last writer wins with an identical document.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle, separators=(",", ":"))
-            os.replace(tmp_name, path)
-        except BaseException:
+    # -- maintenance ---------------------------------------------------
+
+    def _entries(self):
+        for kind in self.KINDS:
+            base = self.root / kind
+            if not base.is_dir():
+                continue
+            yield from ((kind, p) for p in sorted(base.glob("*/*.json")))
+
+    def verify(self) -> VerifyReport:
+        """Audit every entry's integrity footer; quarantine the corrupt.
+
+        Returns a :class:`VerifyReport`; never raises for a bad entry —
+        detection *is* the healing (the entry becomes a future miss).
+        """
+        report = VerifyReport()
+        with obs.span("cache.verify"):
+            for kind, path in self._entries():
+                report.checked += 1
+                try:
+                    raw = path.read_bytes()
+                except OSError:
+                    continue
+                if _verify_entry(raw) is None:
+                    report.corrupt += 1
+                    report.quarantined.append(f"{kind}/{path.name}")
+                    self._quarantine(path, kind)
+                else:
+                    report.ok += 1
+        if obs.enabled():
+            obs.metrics().counter("cache.integrity.verified").inc(report.checked)
+        return report
+
+    def entry_stats(self) -> dict:
+        """Size accounting: entries and bytes per kind, quarantine, quota."""
+        kinds: dict[str, dict[str, int]] = {}
+        total_bytes = 0
+        for kind, path in self._entries():
+            bucket = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
             try:
-                os.unlink(tmp_name)
+                size = path.stat().st_size
             except OSError:
-                pass
-            raise
-        if faults.ACTIVE and faults.should_corrupt("cache.write", key):
-            path.write_text("")  # simulate a torn write surviving on disk
+                continue
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            total_bytes += size
+        quarantined = 0
+        if self.quarantine_dir.is_dir():
+            quarantined = sum(1 for _ in self.quarantine_dir.iterdir())
+        return {
+            "root": str(self.root),
+            "kinds": kinds,
+            "total_bytes": total_bytes,
+            "quarantined": quarantined,
+            "quota_bytes": self.quota_bytes,
+        }
 
-    def sweep_stale_tmp(self, older_than: float = 600.0) -> int:
+    def enforce_quota(self, quota_bytes: int | None = None) -> int:
+        """Evict least-recently-used entries until under budget.
+
+        Recency is the entry's mtime (reads bump it), so cold entries
+        go first.  Returns the number of evictions; a ``None`` budget
+        (both here and on the instance) is a no-op.
+        """
+        quota = self.quota_bytes if quota_bytes is None else quota_bytes
+        if quota is None:
+            return 0
+        entries = []
+        total = 0
+        for _kind, path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        evicted = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= quota:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.integrity.evicted += evicted
+        if evicted and obs.enabled():
+            obs.metrics().counter("cache.integrity.evicted").inc(evicted)
+        return evicted
+
+    def gc(self, older_than: float = 600.0, runs_dir: str | Path | None = None) -> dict:
+        """Reclaim debris: quarantined entries, stale temps, quota excess.
+
+        Returns ``{"quarantine_removed": …, "swept": …, "evicted": …}``.
+        """
+        quarantine_removed = 0
+        if self.quarantine_dir.is_dir():
+            for entry in list(self.quarantine_dir.iterdir()):
+                try:
+                    entry.unlink()
+                    quarantine_removed += 1
+                except OSError:
+                    continue
+        swept = self.sweep_stale_tmp(older_than, runs_dir=runs_dir)
+        evicted = self.enforce_quota()
+        return {
+            "quarantine_removed": quarantine_removed,
+            "swept": swept,
+            "evicted": evicted,
+        }
+
+    def sweep_stale_tmp(
+        self, older_than: float = 600.0, runs_dir: str | Path | None = None
+    ) -> int:
         """Remove temp files orphaned by killed writers; returns the count.
 
         A writer that dies between ``mkstemp`` and ``os.replace`` leaves
         a private ``.<key>-*.tmp`` behind forever.  Anything older than
         ``older_than`` seconds cannot belong to a live writer (writes
         take milliseconds) and is reclaimed; younger files are left alone
-        so concurrent runs are never disturbed.
+        so concurrent runs are never disturbed.  Three orphan classes are
+        swept and counted separately in :attr:`swept` (surfaced by
+        :meth:`describe`): cache-entry temps (``tmp``), interrupted
+        quarantine moves (``quarantine``), and — when ``runs_dir`` is
+        given — journal temps under the run directories (``journal``).
         """
         removed = 0
-        if not self.root.is_dir():
-            return removed
         cutoff = time.time() - older_than
-        for tmp in self.root.glob("*/*/.*.tmp"):
-            try:
-                if tmp.stat().st_mtime <= cutoff:
-                    tmp.unlink()
-                    removed += 1
-            except OSError:
-                continue
+        sweeps: list[tuple[str, object]] = []
+        if self.root.is_dir():
+            sweeps.append(("tmp", self.root.glob("*/*/.*.tmp")))
+            sweeps.append(("quarantine", self.quarantine_dir.glob(".*.tmp")))
+        if runs_dir is not None and Path(runs_dir).is_dir():
+            sweeps.append(("journal", Path(runs_dir).glob("*/.*.tmp")))
+        for label, candidates in sweeps:
+            for tmp in candidates:
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                        self.swept[label] += 1
+                        removed += 1
+                except OSError:
+                    continue
         return removed
 
     # -- reporting -----------------------------------------------------
@@ -272,11 +549,55 @@ class ResultCache:
     def describe(self) -> str:
         """One-line summary for engine/CLI diagnostics."""
         s, p = self.stats, self.sampling
-        return (
+        line = (
             f"cache {self.root}: stats {s.hits} hit/{s.misses} miss/"
             f"{s.stores} stored, sampling {p.hits} hit/{p.misses} miss/"
             f"{p.stores} stored"
         )
+        i = self.integrity
+        if i.corrupt or i.quarantined or i.evicted or i.write_errors:
+            line += (
+                f", integrity {i.corrupt} corrupt/{i.quarantined} quarantined/"
+                f"{i.evicted} evicted/{i.write_errors} write errors"
+            )
+        if any(self.swept.values()):
+            line += ", swept " + "/".join(
+                f"{count} {label}" for label, count in self.swept.items() if count
+            )
+        if self.read_only:
+            line += " [read-only]"
+        return line
+
+
+def _encode_entry(data: dict) -> bytes:
+    """Payload JSON plus the length + SHA-256 integrity footer."""
+    body = json.dumps(data, separators=(",", ":")).encode()
+    digest = hashlib.sha256(body).hexdigest()
+    footer = f"\n{ENTRY_FORMAT} len={len(body)} sha256={digest}\n".encode()
+    return body + footer
+
+
+def _verify_entry(raw: bytes) -> dict | None:
+    """Decode one entry's bytes, or ``None`` if integrity checks fail."""
+    lines = raw.rsplit(b"\n", 2)
+    if len(lines) != 3 or lines[2] != b"":
+        return None
+    body, footer = lines[0], lines[1]
+    try:
+        token, len_field, sha_field = footer.decode().split(" ")
+        if token != ENTRY_FORMAT:
+            return None
+        expected_len = int(len_field.removeprefix("len="))
+        expected_sha = sha_field.removeprefix("sha256=")
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if len(body) != expected_len or hashlib.sha256(body).hexdigest() != expected_sha:
+        return None
+    try:
+        data = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    return data if isinstance(data, dict) else None
 
 
 def _digest(document: dict) -> str:

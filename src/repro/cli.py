@@ -11,6 +11,16 @@
 * ``repro experiment <name>`` — regenerate one of the paper's tables or
   figures (``table1``, ``fig3`` … ``fig12``, ``statstack``,
   ``combined``);
+* ``repro run`` — run an arbitrary workload×config grid under a durable
+  run journal (crash-safe; see ``docs/engine.md``).  ``--resume RUN_ID``
+  replays the journal of an interrupted run and re-dispatches only the
+  missing cells; ``--list`` enumerates known runs.  SIGINT/SIGTERM drain
+  in-flight work, flush the journal, and exit with code 75
+  (``EX_TEMPFAIL``) so wrappers can auto-resume;
+* ``repro cache verify|gc|stats`` — audit the result cache's integrity
+  footers (corrupt entries are quarantined, never trusted), reclaim
+  quarantine/temp debris and enforce ``--cache-quota``, or print size
+  accounting;
 * ``repro validate`` — run the model-vs-simulation conformance harness
   (oracle differential suite, metamorphic invariants, codec/rewriter
   fuzzing, mutation self-test); ``--quick`` (default) or ``--full``,
@@ -50,9 +60,33 @@ import argparse
 import sys
 
 from repro.config import MACHINES, get_machine
-from repro.errors import ReproError
+from repro.errors import ReproError, RunInterrupted
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_INTERRUPTED"]
+
+#: Exit code of a journaled run stopped by SIGINT/SIGTERM after a
+#: graceful drain (EX_TEMPFAIL).  The run is resumable: wrappers that
+#: see this code can re-invoke ``repro run --resume <run-id>``.
+EXIT_INTERRUPTED = 75
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (``512M``, ``2G``)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    cleaned = text.strip().lower().removesuffix("b")
+    multiplier = 1
+    if cleaned and cleaned[-1] in units:
+        multiplier = units[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(float(cleaned) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unreadable size {text!r} (expected e.g. 65536, 512M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be non-negative, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help="disable the persistent result cache",
+        )
+        p.add_argument(
+            "--cache-quota",
+            type=_parse_size,
+            default=None,
+            metavar="SIZE",
+            help="size budget for the result cache (e.g. 512M, 2G); "
+            "least-recently-used entries past it are evicted",
         )
         p.add_argument(
             "--retries",
@@ -192,6 +234,108 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs(p_exp)
     p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
 
+    p_run = sub.add_parser(
+        "run",
+        help="run a workload×config grid under a durable, resumable run journal",
+    )
+    p_run.add_argument(
+        "--workloads",
+        default="libquantum,mcf",
+        help="comma-separated workloads (default libquantum,mcf)",
+    )
+    p_run.add_argument(
+        "--configs",
+        default="baseline,hw,swnt",
+        help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw)",
+    )
+    add_common(p_run)
+    add_engine(p_run)
+    add_obs(p_run)
+    p_run.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="explicit run identifier (default: fresh timestamped id)",
+    )
+    p_run.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume an interrupted run from its journal instead of starting fresh",
+    )
+    p_run.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-journal root (default $REPRO_RUNS_DIR or ./.repro-runs)",
+    )
+    p_run.add_argument(
+        "--list",
+        dest="list_runs",
+        action="store_true",
+        help="list known journaled runs and exit",
+    )
+    p_run.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write {run_id, results} with full serialised stats as JSON",
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the on-disk result cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cv = cache_sub.add_parser(
+        "verify",
+        help="check every entry's integrity footer; quarantine corrupt ones",
+    )
+    p_cv.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable verification report as JSON",
+    )
+    p_cg = cache_sub.add_parser(
+        "gc",
+        help="reclaim quarantine/temp debris and enforce the size quota",
+    )
+    p_cg.add_argument(
+        "--older-than",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="age threshold for stale temp files (default 600)",
+    )
+    p_cg.add_argument(
+        "--cache-quota",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="evict least-recently-used entries past this budget (e.g. 512M)",
+    )
+    p_cg.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="also reap orphaned journal temp files under this run root",
+    )
+    p_cs = cache_sub.add_parser("stats", help="print cache size accounting")
+    p_cs.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the size accounting as JSON",
+    )
+    for p_c in (p_cv, p_cg, p_cs):
+        p_c.add_argument(
+            "--cache-dir",
+            default=None,
+            help="result cache directory (default $REPRO_CACHE_DIR or ./.repro-cache)",
+        )
+        add_obs(p_c)
+
     p_val = sub.add_parser(
         "validate",
         help="run the model-vs-simulation conformance harness",
@@ -265,6 +409,7 @@ def _configure_engine(args: argparse.Namespace):
         retry=retry,
         strict=args.strict,
         sim_options=sim_options,
+        cache_quota=getattr(args, "cache_quota", None),
     )
 
 
@@ -492,6 +637,112 @@ def _render_experiment(args: argparse.Namespace) -> None:
         print(render_combined(run_combined(args.machine, scale=scale)))
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import api
+    from repro.core import serialization
+    from repro.experiments.journal import list_runs
+    from repro.experiments.tables import render_table
+
+    if args.list_runs:
+        runs = list_runs(args.runs_dir)
+        if not runs:
+            print("no journaled runs", file=sys.stderr)
+        for run_id in runs:
+            print(run_id)
+        return 0
+    engine = _configure_engine(args)
+    if args.resume is not None:
+        run_id, results = api.resume_run(
+            args.resume, runs_dir=args.runs_dir, engine=engine
+        )
+    else:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+        specs = [
+            api.ExperimentSpec(w, args.machine, c, args.input_set, args.scale)
+            for w in workloads
+            for c in configs
+        ]
+        run_id, results = api.run_journaled(
+            specs, run_id=args.run_id, runs_dir=args.runs_dir, engine=engine
+        )
+    ordered = sorted(results.items(), key=lambda kv: kv[0].label())
+    rows = [
+        (
+            spec.label(),
+            f"{stats.cycles}",
+            f"{stats.l1.miss_ratio * 100:.2f}%",
+            f"{stats.dram_bytes}",
+        )
+        for spec, stats in ordered
+    ]
+    print(
+        render_table(
+            ("cell", "cycles", "L1 MR", "DRAM bytes"),
+            rows,
+            title=f"run {run_id} ({len(results)} cells)",
+        )
+    )
+    if args.json_out is not None:
+        payload = {
+            "run_id": run_id,
+            "results": {
+                spec.label(): serialization.stats_to_dict(stats)
+                for spec, stats in ordered
+            },
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[run] results written to {args.json_out}", file=sys.stderr)
+    return _engine_epilogue(engine)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cache import ResultCache, default_cache_dir
+
+    root = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    cache = ResultCache(root, quota_bytes=getattr(args, "cache_quota", None))
+    if args.cache_command == "verify":
+        report = cache.verify()
+        print(report.render())
+        if args.json_out is not None:
+            with open(args.json_out, "w") as handle:
+                json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"[cache] report written to {args.json_out}", file=sys.stderr)
+        return 0 if report.corrupt == 0 else 1
+    if args.cache_command == "gc":
+        summary = cache.gc(older_than=args.older_than, runs_dir=args.runs_dir)
+        swept = ", ".join(f"{k}={v}" for k, v in sorted(cache.swept.items()))
+        print(
+            f"cache gc: {summary['quarantine_removed']} quarantined entries "
+            f"removed, {summary['evicted']} evicted for quota, swept {swept}"
+        )
+        return 0
+    if args.cache_command == "stats":
+        stats = cache.entry_stats()
+        for kind, info in sorted(stats["kinds"].items()):
+            print(f"  {kind:10s} {info['entries']:6d} entries  {info['bytes']:12d} bytes")
+        quota = stats["quota_bytes"]
+        print(
+            f"  total      {stats['total_bytes']} bytes, "
+            f"{stats['quarantined']} quarantined"
+            + (f", quota {quota} bytes" if quota is not None else "")
+        )
+        if args.json_out is not None:
+            with open(args.json_out, "w") as handle:
+                json.dump(stats, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"[cache] stats written to {args.json_out}", file=sys.stderr)
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command}")
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validate import DiffSettings, ValidationConfig, run_validation
 
@@ -529,6 +780,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_mrc(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "validate":
         return _cmd_validate(args)
     raise AssertionError(f"unhandled command {args.command}")
@@ -548,6 +803,17 @@ def main(argv: list[str] | None = None) -> int:
         obs.metrics().reset()
     try:
         return _dispatch(args)
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.run_id:
+            print(
+                f"resume with: repro run --resume {exc.run_id}",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         report = getattr(exc, "report", None)

@@ -22,6 +22,7 @@ __all__ = [
     "ExperimentError",
     "EngineError",
     "CellFailure",
+    "RunInterrupted",
 ]
 
 
@@ -77,6 +78,30 @@ class EngineError(ExperimentError):
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class RunInterrupted(ExperimentError):
+    """A journaled run was stopped by SIGINT/SIGTERM after a graceful drain.
+
+    The journal holds every cell completed before the shutdown, so the
+    run is resumable: ``repro run --resume <run_id>`` (or
+    :func:`repro.api.resume_run`) re-dispatches exactly the missing
+    cells.  The CLI maps this to exit code 75 (``EX_TEMPFAIL``) so
+    wrappers can auto-resume.  ``done``/``total`` describe how far the
+    batch got before draining.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        run_id: str | None = None,
+        done: int = 0,
+        total: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+        self.done = done
+        self.total = total
 
 
 class CellFailure(EngineError):

@@ -38,6 +38,19 @@ gracefully instead of discarding a batch:
   :attr:`ExperimentEngine.last_failures`;
 * cache IO errors degrade to misses (recompute), never aborts.
 
+Killed *processes* are survivable too, when a run journal is attached
+(see :mod:`repro.experiments.journal`): every dispatched batch and every
+completed or failed cell is appended to a checksummed, fsync'd JSONL
+journal, so ``repro run --resume <run-id>`` / :func:`repro.api.resume_run`
+replays the journal, skips the completed cells, and re-dispatches only
+what the crash interrupted — with bit-identical final results.  A
+journaled run also installs SIGINT/SIGTERM handlers that *drain*
+in-flight work under a deadline, terminate the pool, flush the journal,
+and raise :class:`~repro.errors.RunInterrupted` (CLI exit code 75) so
+wrappers can auto-resume; a bare :class:`KeyboardInterrupt` mid-dispatch
+still terminates the pool and leaves every already-journaled cell
+recoverable.
+
 The CLI configures one process-wide default engine via :func:`configure`
 (``--jobs``, ``--cache-dir``, ``--no-cache``, ``--retries``,
 ``--cell-timeout``, ``--best-effort``); experiment drivers pick it up
@@ -49,6 +62,8 @@ tolerance.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -62,8 +77,9 @@ from repro.api import CONFIGS, ExperimentSpec
 from repro.cache import ResultCache, default_cache_dir
 from repro.cachesim.options import SimOptions, get_default_options
 from repro.cachesim.stats import RunStats
-from repro.errors import CellFailure, EngineError
+from repro.errors import CellFailure, EngineError, RunInterrupted
 from repro.experiments import runner
+from repro.experiments.journal import RunJournal, default_runs_dir
 from repro.retry import RetryPolicy
 
 __all__ = [
@@ -97,7 +113,10 @@ class EngineStats:
     exhausted their retry budget.  The four always sum to ``cells``.
     ``retries`` counts extra dispatches (re-attempts and bisection
     splits); ``fallbacks`` counts pool abandonments (broken pool →
-    serial, hung group → fresh pool).
+    serial, hung group → fresh pool); ``interrupted`` counts batches
+    truncated by a shutdown signal or :class:`KeyboardInterrupt` (their
+    resolved cells are still accounted — the four sources sum to
+    ``cells``, which is then less than the batch's request).
     """
 
     cells: int = 0
@@ -107,6 +126,7 @@ class EngineStats:
     failed: int = 0
     retries: int = 0
     fallbacks: int = 0
+    interrupted: int = 0
     batches: int = 0
     wall_seconds: float = 0.0
 
@@ -154,6 +174,8 @@ class EngineStats:
             parts.insert(4, f"{self.failed} failed")
         if self.retries:
             parts.insert(-2, f"{self.retries} retries")
+        if self.interrupted:
+            parts.insert(-2, f"{self.interrupted} interrupted")
         line = "engine: " + " | ".join(parts)
         if tracer is None:
             tracer = obs.get_tracer()
@@ -297,6 +319,18 @@ class ExperimentEngine:
         :class:`~repro.errors.EngineError` carrying the
         :class:`FailureReport`.  ``False``: :meth:`run` returns the
         surviving cells and leaves the report on :attr:`last_failures`.
+    journal:
+        Optional :class:`~repro.experiments.journal.RunJournal`.  When
+        attached, every dispatched group and every resolved cell is
+        journaled durably, and the run installs SIGINT/SIGTERM handlers
+        for graceful, resumable shutdown (see :mod:`journal`).  Also
+        assignable after construction (``engine.journal = …``).
+    cache_quota:
+        Size budget in bytes for the persistent cache; enforced with
+        LRU eviction at engine start (``None`` — no limit).
+    drain_seconds:
+        How long a graceful shutdown waits for in-flight groups before
+        terminating the pool.
     """
 
     def __init__(
@@ -307,20 +341,33 @@ class ExperimentEngine:
         progress: bool | Callable[[int, int, ExperimentSpec, str], None] | None = None,
         retry: RetryPolicy | None = None,
         strict: bool = True,
+        journal: RunJournal | None = None,
+        cache_quota: int | None = None,
+        drain_seconds: float = 5.0,
     ) -> None:
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache: ResultCache | None = None
         if use_cache:
-            self.cache = ResultCache(cache_dir or default_cache_dir())
-            # Reclaim temp files orphaned by killed writers of past runs.
-            self.cache.sweep_stale_tmp()
+            self.cache = ResultCache(
+                cache_dir or default_cache_dir(), quota_bytes=cache_quota
+            )
+            # Reclaim temp files orphaned by killed writers of past runs
+            # (cache entries, interrupted quarantine moves, journal
+            # temps) and enforce the size budget, if one is set.
+            self.cache.sweep_stale_tmp(runs_dir=default_runs_dir())
+            self.cache.enforce_quota()
         self.progress = progress
         self.retry = retry if retry is not None else RetryPolicy()
         self.strict = strict
+        self.journal = journal
+        self.drain_seconds = drain_seconds
         self.stats = EngineStats()
         #: FailureReport of the most recent :meth:`run` (empty when the
         #: batch was clean).
         self.last_failures = FailureReport()
+        #: Name of the signal a graceful shutdown is honouring, if any.
+        self._shutdown_signal: str | None = None
+        self._handlers_installed = False
 
     # -- public API ----------------------------------------------------
 
@@ -362,6 +409,9 @@ class ExperimentEngine:
         cold: list[ExperimentSpec] = []
 
         previous_cache = runner.set_cache(self.cache)
+        previous_handlers = self._install_signal_handlers()
+        if self.journal is not None:
+            self.journal.start(ordered)
         batch_span = obs.span("engine.batch", cells=len(ordered), jobs=self.jobs)
         batch_span.__enter__()
         try:
@@ -374,7 +424,7 @@ class ExperimentEngine:
                     if self.cache is not None and not self._cache_has(spec):
                         self._cache_put(spec, stats)
                     batch.memo_hits += 1
-                    self._report(batch, spec, "memo")
+                    self._report(batch, spec, "memo", stats)
                     continue
                 if self.cache is not None:
                     stats = self._cache_get(spec)
@@ -382,16 +432,22 @@ class ExperimentEngine:
                         runner.seed_memo(spec, stats)
                         results[spec] = stats
                         batch.disk_hits += 1
-                        self._report(batch, spec, "disk")
+                        self._report(batch, spec, "disk", stats)
                         continue
                 cold.append(spec)
 
             if cold:
                 self._run_cold(cold, results, batch, report)
+        except (RunInterrupted, KeyboardInterrupt):
+            # The batch was truncated; everything resolved so far is
+            # journaled and accounted, the rest resumes from the journal.
+            self.stats.interrupted += 1
+            raise
         finally:
             # Account the batch even when resolution raises mid-way, so
             # partial batches still appear in summary().
             runner.set_cache(previous_cache)
+            self._restore_signal_handlers(previous_handlers)
             wall = time.perf_counter() - batch.started
             self.stats.merge_batch(
                 batch.computed,
@@ -441,6 +497,89 @@ class ExperimentEngine:
     def summary(self) -> str:
         """Cumulative cell/cache accounting across every batch so far."""
         return self.stats.format(jobs=self.jobs, cache=self.cache)
+
+    # -- graceful shutdown ----------------------------------------------
+
+    # A journaled run owns SIGINT/SIGTERM for its duration: the first
+    # signal requests a drain (finish in-flight groups under
+    # ``drain_seconds``, journal them, terminate the pool, raise
+    # RunInterrupted); a second signal restores the default disposition
+    # so a third kills the process the ordinary way.
+
+    def _install_signal_handlers(self):
+        if self.journal is None:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None  # signal.signal is main-thread-only
+
+        def _handler(signum, frame):
+            if self._shutdown_signal is not None:
+                for sig, previous in (previous_handlers or {}).items():
+                    signal.signal(sig, previous)
+                return
+            self._shutdown_signal = signal.Signals(signum).name
+            _LOG.warning(
+                "[engine] %s received; draining in-flight work "
+                "(signal again to force)",
+                self._shutdown_signal,
+            )
+
+        previous_handlers = {}
+        self._shutdown_signal = None
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[sig] = signal.signal(sig, _handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+        self._handlers_installed = bool(previous_handlers)
+        return previous_handlers
+
+    def _restore_signal_handlers(self, previous_handlers) -> None:
+        if not previous_handlers:
+            return
+        for sig, previous in previous_handlers.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._handlers_installed = False
+
+    def _interrupted(self, batch: _Batch) -> RunInterrupted:
+        self._flush_journal()
+        run_id = self.journal.run_id if self.journal is not None else None
+        if obs.enabled():
+            obs.metrics().counter("engine.shutdown.interrupted").inc()
+        return RunInterrupted(
+            f"run interrupted by {self._shutdown_signal} after "
+            f"{batch.done}/{batch.total} cells"
+            + (f"; resume with --resume {run_id}" if run_id else ""),
+            run_id=run_id,
+            done=batch.done,
+            total=batch.total,
+        )
+
+    def _flush_journal(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- journal hooks --------------------------------------------------
+
+    def _journal_cell(self, spec: ExperimentSpec, stats: RunStats | None, source: str) -> None:
+        if self.journal is None or stats is None or source == "failed":
+            return
+        with obs.span("journal.append", cell=spec.label()):
+            self.journal.record_cell(spec, stats, source)
+
+    def _journal_failure(self, failure: CellFailure) -> None:
+        if self.journal is None or failure.spec is None:
+            return
+        self.journal.record_failure(
+            failure.spec, str(failure.cause or failure), failure.attempts
+        )
+
+    def _journal_dispatch(self, specs: Sequence[ExperimentSpec], attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.record_dispatch(specs, attempt)
 
     # -- cache guards ---------------------------------------------------
 
@@ -500,7 +639,10 @@ class ExperimentEngine:
     ) -> None:
         """In-process execution with per-cell retries (no group ambiguity,
         so failures need no bisection; deadlines cannot be enforced)."""
+        self._journal_dispatch(specs, attempt=1)
         for spec in specs:
+            if self._shutdown_signal is not None:
+                raise self._interrupted(batch)
             attempt = 0
             while True:
                 attempt += 1
@@ -514,21 +656,21 @@ class ExperimentEngine:
                         batch.retries += 1
                         _sleep(self.retry.delay(attempt, spec.label()))
                         continue
-                    report.add(
-                        CellFailure(
-                            f"cell {spec.label()} failed after {attempt} "
-                            f"attempt(s): {exc}",
-                            spec=spec,
-                            attempts=attempt,
-                            elapsed=elapsed,
-                            cause=exc,
-                        )
+                    failure = CellFailure(
+                        f"cell {spec.label()} failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        spec=spec,
+                        attempts=attempt,
+                        elapsed=elapsed,
+                        cause=exc,
                     )
+                    report.add(failure)
+                    self._journal_failure(failure)
                     self._report(batch, spec, "failed")
                     break
                 results[spec] = stats
                 batch.computed += 1
-                self._report(batch, spec, "computed")
+                self._report(batch, spec, "computed", stats)
                 break
 
     def _run_parallel(
@@ -554,9 +696,18 @@ class ExperimentEngine:
         dispatch_span.__enter__()
         try:
             while queue or pending:
+                if self._shutdown_signal is not None:
+                    # Graceful shutdown: give in-flight groups a drain
+                    # deadline, journal whatever they finish, terminate
+                    # the rest, and surface the resumable interruption.
+                    self._drain_pending(pending, results, batch, tracing)
+                    _abandon_pool(pool)
+                    pool = None
+                    raise self._interrupted(batch)
                 while queue and pool is not None:
                     task = queue.popleft()
                     task.started = time.perf_counter()
+                    self._journal_dispatch(task.specs, task.attempt)
                     pending[
                         pool.submit(
                             _compute_group,
@@ -572,15 +723,21 @@ class ExperimentEngine:
                     now = time.perf_counter()
                     earliest = min(t.started + deadline for t in pending.values())
                     wait_timeout = max(0.0, earliest - now)
+                if self._handlers_installed:
+                    # Signals only set a flag; bound the wait so a
+                    # drain request is noticed promptly even when no
+                    # future completes for a while.
+                    wait_timeout = min(wait_timeout or 0.5, 0.5)
                 with obs.span("engine.wait", pending=len(pending)):
                     done, _ = wait(
                         set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
                     )
 
                 if not done:
-                    pool = self._expire_hung_groups(
-                        pool, pending, queue, batch, report, workers
-                    )
+                    if deadline is not None:
+                        pool = self._expire_hung_groups(
+                            pool, pending, queue, batch, report, workers
+                        )
                     continue
 
                 broken = False
@@ -594,16 +751,9 @@ class ExperimentEngine:
                     except Exception as exc:
                         self._bisect_or_fail(task, exc, queue, batch, report)
                     else:
-                        if tracing:
-                            if spans:
-                                obs.get_tracer().ingest(spans)
-                            if worker_metrics:
-                                obs.metrics().merge(worker_metrics)
-                        for spec, stats in payload:
-                            runner.seed_memo(spec, stats, persist=True)
-                            results[spec] = stats
-                            batch.computed += 1
-                            self._report(batch, spec, "computed")
+                        self._install_payload(
+                            payload, spans, worker_metrics, tracing, results, batch
+                        )
 
                 if broken:
                     # The pool is unusable and every in-flight future is
@@ -618,6 +768,16 @@ class ExperimentEngine:
                         self._run_serial_group(
                             queue.popleft().specs, results, batch, report
                         )
+        except KeyboardInterrupt:
+            # Ctrl-C without installed handlers (non-journaled run, or a
+            # second impatient signal): terminate the pool so no orphan
+            # workers linger, flush what the journal has, and propagate.
+            if pool is not None:
+                _abandon_pool(pool)
+                pool = None
+            pending.clear()
+            self._flush_journal()
+            raise
         finally:
             dispatch_span.__exit__(None, None, None)
             if pool is not None:
@@ -627,6 +787,55 @@ class ExperimentEngine:
                     _abandon_pool(pool)
                 else:
                     pool.shutdown(wait=True, cancel_futures=True)
+
+    def _install_payload(
+        self,
+        payload: list[tuple[ExperimentSpec, RunStats]],
+        spans: list[dict],
+        worker_metrics: dict,
+        tracing: bool,
+        results: dict[ExperimentSpec, RunStats],
+        batch: _Batch,
+    ) -> None:
+        """Absorb one worker future's results into memo/cache/journal."""
+        if tracing:
+            if spans:
+                obs.get_tracer().ingest(spans)
+            if worker_metrics:
+                obs.metrics().merge(worker_metrics)
+        for spec, stats in payload:
+            runner.seed_memo(spec, stats, persist=True)
+            results[spec] = stats
+            batch.computed += 1
+            self._report(batch, spec, "computed", stats)
+
+    def _drain_pending(
+        self,
+        pending: dict[Future, _Task],
+        results: dict[ExperimentSpec, RunStats],
+        batch: _Batch,
+        tracing: bool,
+    ) -> None:
+        """Give in-flight futures ``drain_seconds`` to finish, absorb the
+        finishers (journaled like any completion), drop the rest — they
+        re-dispatch deterministically on resume."""
+        if not pending:
+            return
+        done, _ = wait(set(pending), timeout=max(0.0, self.drain_seconds))
+        drained = 0
+        for future in done:
+            pending.pop(future)
+            try:
+                payload, spans, worker_metrics = future.result()
+            except Exception:
+                continue  # failed mid-shutdown: resume recomputes it
+            self._install_payload(payload, spans, worker_metrics, tracing, results, batch)
+            drained += 1
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("engine.shutdown.drained_groups").inc(drained)
+            reg.counter("engine.shutdown.dropped_groups").inc(len(pending))
+        pending.clear()
 
     def _expire_hung_groups(
         self,
@@ -687,19 +896,26 @@ class ExperimentEngine:
             _sleep(self.retry.delay(task.attempt, spec.label()))
             queue.append(_Task(specs, attempt=task.attempt + 1))
             return
-        report.add(
-            CellFailure(
-                f"cell {spec.label()} failed after {task.attempt} "
-                f"attempt(s): {exc}",
-                spec=spec,
-                attempts=task.attempt,
-                elapsed=elapsed,
-                cause=None if isinstance(exc, TimeoutError) else exc,
-            )
+        failure = CellFailure(
+            f"cell {spec.label()} failed after {task.attempt} "
+            f"attempt(s): {exc}",
+            spec=spec,
+            attempts=task.attempt,
+            elapsed=elapsed,
+            cause=None if isinstance(exc, TimeoutError) else exc,
         )
+        report.add(failure)
+        self._journal_failure(failure)
         self._report(batch, spec, "failed")
 
-    def _report(self, batch: _Batch, spec: ExperimentSpec, source: str) -> None:
+    def _report(
+        self,
+        batch: _Batch,
+        spec: ExperimentSpec,
+        source: str,
+        stats: RunStats | None = None,
+    ) -> None:
+        self._journal_cell(spec, stats, source)
         batch.done += 1
         if not self.progress:
             return
@@ -749,13 +965,15 @@ def configure(
     progress: bool | Callable[[int, int, ExperimentSpec, str], None] | None = None,
     retry: RetryPolicy | None = None,
     strict: bool = True,
+    journal: RunJournal | None = None,
+    cache_quota: int | None = None,
 ) -> ExperimentEngine:
     """Install and return the process-wide default engine.
 
     Called by the CLI (from ``--jobs`` / ``--cache-dir`` / ``--no-cache``
-    / ``--retries`` / ``--cell-timeout`` / ``--best-effort``) and by the
-    benchmark harness; experiment drivers reach it through
-    :func:`current_engine`.
+    / ``--retries`` / ``--cell-timeout`` / ``--best-effort`` /
+    ``--cache-quota``) and by the benchmark harness; experiment drivers
+    reach it through :func:`current_engine`.
     """
     global _DEFAULT_ENGINE
     _DEFAULT_ENGINE = ExperimentEngine(
@@ -765,6 +983,8 @@ def configure(
         progress=progress,
         retry=retry,
         strict=strict,
+        journal=journal,
+        cache_quota=cache_quota,
     )
     return _DEFAULT_ENGINE
 

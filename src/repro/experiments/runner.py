@@ -254,6 +254,9 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
     """
     if faults.ACTIVE:
         faults.check("worker.compute", spec)
+        # Chaos-harness site: a "kill" fault here models a worker
+        # SIGKILLed mid-cell (only fires inside pool workers).
+        faults.check("worker.sigkill", spec)
     with obs.span("cell.compute", cell=spec.label()):
         machine = get_machine(spec.machine)
 

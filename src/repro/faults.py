@@ -9,19 +9,30 @@ at named **sites** in the pipeline and have them fire deterministically:
 
 * ``"worker.compute"`` — start of :func:`repro.experiments.runner.compute_run`
   (fires in pool workers and on the serial path alike);
+* ``"worker.sigkill"`` — same place, but conventionally armed with the
+  ``"kill"`` kind to model a worker SIGKILLed mid-cell (chaos harness);
 * ``"cache.read"`` / ``"cache.write"`` — :class:`repro.cache.ResultCache`
-  file IO;
+  file IO; a ``corrupt`` fault at ``cache.write`` empties the published
+  entry, one at ``"cache.torn_write"`` tears it mid-file (the integrity
+  footer must catch both);
+* ``"journal.partial_append"`` — a ``corrupt`` fault tears one run
+  journal record mid-line (a crash between ``write`` and the newline);
+* ``"disk.enospc"`` — cache stores and journal appends raise a real
+  ``OSError(ENOSPC)`` (arm with the ``"enospc"`` kind), exercising the
+  read-only downgrade paths;
 * ``"serialization.decode"`` — stats/sampling codec entry points.
 
-Four fault **kinds** model the real-world failure modes:
+Five fault **kinds** model the real-world failure modes:
 
 * ``"raise"`` — raise :class:`InjectedFault` (a crashed simulation);
 * ``"hang"`` — sleep ``hang_seconds`` (a stuck worker, for timeout tests);
 * ``"corrupt"`` — ask the site to corrupt its bytes (a torn write; only
   sites that own bytes honour it, via :func:`should_corrupt`);
-* ``"kill"`` — ``os._exit`` the process (an OOM-killed worker; fires
-  **only** inside pool workers, see :func:`mark_worker`, so a serial
-  fallback in the parent survives).
+* ``"enospc"`` — raise ``OSError(errno.ENOSPC)`` (a full disk; sites
+  downgrade instead of crashing);
+* ``"kill"`` — ``os._exit`` the process (an OOM-killed or SIGKILLed
+  worker; fires **only** inside pool workers, see :func:`mark_worker`,
+  so a serial fallback in the parent survives).
 
 Zero overhead when disarmed: instrumented sites guard every call with
 ``if faults.ACTIVE:`` — a single module-attribute truth test — and
@@ -37,6 +48,7 @@ seed always poisons the same cells.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import time
@@ -63,7 +75,7 @@ __all__ = [
 #: True exactly while at least one fault is armed.
 ACTIVE = False
 
-FAULT_KINDS = ("raise", "hang", "corrupt", "kill")
+FAULT_KINDS = ("raise", "hang", "corrupt", "enospc", "kill")
 
 
 class InjectedFault(ReproError, RuntimeError):
@@ -156,6 +168,10 @@ def check(site: str, subject: object = None) -> None:
         fault.fired += 1
         if fault.kind == "raise":
             raise InjectedFault(f"injected fault at {site} for {subject!r}")
+        if fault.kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"No space left on device (injected at {site})"
+            )
         if fault.kind == "hang":
             time.sleep(fault.hang_seconds)
         elif fault.kind == "kill":

@@ -213,3 +213,149 @@ class TestResultCache:
         counters = cache.counters()
         assert counters["stats"] == (0, 1, 0)
         assert "stats 0 hit/1 miss" in cache.describe()
+
+
+class TestEntryIntegrity:
+    """The self-healing layer: footers, quarantine, verify, quota, ENOSPC."""
+
+    @pytest.fixture(autouse=True)
+    def _disarm_after(self):
+        from repro import faults
+
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def _seeded(self, tmp_path, **kwargs):
+        cache = ResultCache(tmp_path, **kwargs)
+        cache.put_stats(SPEC, PROFILE_RATE, compute_run(SPEC))
+        path = cache._path("stats", cache.stats_key(SPEC, PROFILE_RATE))
+        return cache, path
+
+    def test_entries_carry_integrity_footer(self, tmp_path):
+        from repro.cache import ENTRY_FORMAT
+
+        _, path = self._seeded(tmp_path)
+        raw = path.read_bytes()
+        assert ENTRY_FORMAT.encode() in raw
+        assert raw.endswith(b"\n")
+
+    def test_single_bit_flip_is_caught_and_quarantined(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[10] ^= 0x01
+        path.write_bytes(bytes(raw))
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None
+        assert not path.exists()
+        assert cache.integrity.corrupt == 1
+        assert cache.integrity.quarantined == 1
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+
+    def test_truncated_entry_is_caught(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None
+        assert cache.integrity.corrupt == 1
+
+    def test_torn_write_fault_never_served(self, tmp_path):
+        from repro import faults
+
+        faults.arm("cache.torn_write", kind="corrupt", times=1)
+        cache, path = self._seeded(tmp_path)
+        assert path.exists()  # the torn entry was published...
+        assert cache.get_stats(SPEC, PROFILE_RATE) is None  # ...but not trusted
+        assert cache.integrity.quarantined == 1
+
+    def test_verify_audits_and_quarantines(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        report = cache.verify()
+        assert (report.checked, report.ok, report.corrupt) == (1, 1, 0)
+        path.write_bytes(b"garbage")
+        report = cache.verify()
+        assert report.corrupt == 1
+        assert report.quarantined  # names the entry
+        assert "corrupt" in report.render()
+        assert cache.verify().corrupt == 0  # healed: corpse is gone
+
+    def test_quota_evicts_least_recently_used(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        specs = [
+            ExperimentSpec("libquantum", "amd-phenom-ii", c, scale=SCALE)
+            for c in ("baseline", "swnt", "hw")
+        ]
+        for i, spec in enumerate(specs):
+            cache.put_stats(spec, PROFILE_RATE, compute_run(spec))
+            path = cache._path("stats", cache.stats_key(spec, PROFILE_RATE))
+            mtime = time.time() - 1000 + i  # oldest first
+            os.utime(path, (mtime, mtime))
+        total = cache.entry_stats()["total_bytes"]
+        one_entry = total // len(specs)
+        evicted = cache.enforce_quota(total - one_entry // 2)
+        assert evicted == 1
+        assert cache.integrity.evicted == 1
+        # the *oldest* entry went; the youngest survives
+        assert cache.get_stats(specs[0], PROFILE_RATE) is None
+        assert cache.get_stats(specs[-1], PROFILE_RATE) is not None
+
+    def test_read_hit_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        cache, path = self._seeded(tmp_path)
+        old = time.time() - 5000
+        os.utime(path, (old, old))
+        cache.get_stats(SPEC, PROFILE_RATE)
+        assert path.stat().st_mtime > old + 1000
+
+    def test_enospc_store_downgrades_to_read_only(self, tmp_path):
+        from repro import faults
+
+        cache, path = self._seeded(tmp_path)  # one good entry on disk
+        faults.arm("disk.enospc", kind="enospc", times=1)
+        other = ExperimentSpec("libquantum", "amd-phenom-ii", "swnt", scale=SCALE)
+        cache.put_stats(other, PROFILE_RATE, compute_run(other))  # must not raise
+        assert cache.read_only
+        assert cache.integrity.write_errors == 1
+        assert "[read-only]" in cache.describe()
+        # reads keep working; later stores are skipped and counted
+        assert cache.get_stats(SPEC, PROFILE_RATE) is not None
+        cache.put_stats(other, PROFILE_RATE, compute_run(other))
+        assert cache.integrity.write_errors == 2
+        assert cache.stats.stores == 1  # only the pre-failure store counted
+
+    def test_gc_reclaims_quarantine_and_reports(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        path.write_bytes(b"junk")
+        cache.get_stats(SPEC, PROFILE_RATE)  # quarantines
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+        summary = cache.gc(older_than=0.0)
+        assert summary["quarantine_removed"] == 1
+        assert not list(cache.quarantine_dir.iterdir())
+
+    def test_sweep_counts_journal_temps_per_class(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path / "cache")
+        runs = tmp_path / "runs"
+        (runs / "some-run").mkdir(parents=True)
+        orphan = runs / "some-run" / ".journal-xyz.tmp"
+        orphan.write_text("{")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        assert cache.sweep_stale_tmp(older_than=600, runs_dir=runs) == 1
+        assert cache.swept["journal"] == 1
+        assert not orphan.exists()
+        assert "swept" in cache.describe()
+
+    def test_entry_stats_accounting(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        stats = cache.entry_stats()
+        assert stats["kinds"]["stats"]["entries"] == 1
+        assert stats["kinds"]["stats"]["bytes"] == path.stat().st_size
+        assert stats["total_bytes"] >= path.stat().st_size
+        assert stats["quarantined"] == 0

@@ -151,3 +151,132 @@ class TestFaultToleranceCli:
         assert code == 3
         err = capsys.readouterr().err
         assert "baseline cell failed" in err
+
+
+class TestRunCli:
+    """The journaled ``repro run`` command and its resume/list surface."""
+
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workloads == "libquantum,mcf"
+        assert args.resume is None
+        assert args.run_id is None
+        assert args.list_runs is False
+
+    def test_cache_quota_size_suffixes(self):
+        args = build_parser().parse_args(["run", "--cache-quota", "512M"])
+        assert args.cache_quota == 512 * 1024 * 1024
+        args = build_parser().parse_args(["simulate", "mcf", "--cache-quota", "2G"])
+        assert args.cache_quota == 2 * 1024**3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--cache-quota", "lots"])
+
+    def test_run_then_resume_bit_identical(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import runner
+
+        runs = str(tmp_path / "runs")
+        out1 = tmp_path / "a.json"
+        out2 = tmp_path / "b.json"
+        common = [
+            "run", "--workloads", "libquantum", "--configs", "baseline,swnt",
+            "--scale", "0.05", "--no-cache", "--runs-dir", runs,
+        ]
+        assert main([*common, "--run-id", "r1", "--json-out", str(out1)]) == 0
+        assert "run r1" in capsys.readouterr().out
+        runner.clear_memo()
+        assert main([*common, "--resume", "r1", "--json-out", str(out2)]) == 0
+        a, b = json.loads(out1.read_text()), json.loads(out2.read_text())
+        assert a["run_id"] == b["run_id"] == "r1"
+        assert a["results"] == b["results"]
+
+    def test_run_list(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        assert main([
+            "run", "--workloads", "libquantum", "--configs", "baseline",
+            "--scale", "0.05", "--no-cache", "--runs-dir", runs, "--run-id", "only",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["run", "--list", "--runs-dir", runs]) == 0
+        assert "only" in capsys.readouterr().out
+
+    def test_resume_unknown_run_is_clean_error(self, tmp_path, capsys):
+        code = main([
+            "run", "--resume", "ghost", "--no-cache",
+            "--runs-dir", str(tmp_path / "runs"),
+        ])
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+
+class TestCacheCli:
+    """``repro cache verify|gc|stats``."""
+
+    def _seed(self, tmp_path):
+        from repro.api import ExperimentSpec
+        from repro.cache import ResultCache
+        from repro.experiments.runner import PROFILE_RATE, compute_run
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = ExperimentSpec("libquantum", "amd-phenom-ii", "baseline", scale=0.05)
+        cache.put_stats(spec, PROFILE_RATE, compute_run(spec))
+        return cache, cache._path("stats", cache.stats_key(spec, PROFILE_RATE))
+
+    def test_verify_clean_exits_0(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_verify_corrupt_quarantines_and_exits_1(self, tmp_path, capsys):
+        import json
+
+        _, path = self._seed(tmp_path)
+        path.write_bytes(b"\x00garbage")
+        report_path = tmp_path / "report.json"
+        code = main([
+            "cache", "verify", "--cache-dir", str(tmp_path / "cache"),
+            "--json-out", str(report_path),
+        ])
+        assert code == 1
+        assert "corrupt" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["corrupt"] == 1
+        assert report["quarantined"]
+        assert not path.exists()
+
+    def test_gc_and_stats(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "cache gc:" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "stats" in out and "bytes" in out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestInterruptedExitCode:
+    def test_exit_interrupted_is_75(self):
+        from repro.cli import EXIT_INTERRUPTED
+
+        assert EXIT_INTERRUPTED == 75
+
+    def test_run_interrupted_maps_to_75_with_hint(self, tmp_path, capsys, monkeypatch):
+        from repro import api
+        from repro.errors import RunInterrupted
+
+        def _boom(*args, **kwargs):
+            raise RunInterrupted("stopped", run_id="r9", done=1, total=4)
+
+        monkeypatch.setattr(api, "run_journaled", _boom)
+        code = main([
+            "run", "--workloads", "libquantum", "--configs", "baseline",
+            "--scale", "0.05", "--no-cache", "--runs-dir", str(tmp_path),
+        ])
+        assert code == 75
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume r9" in err

@@ -338,3 +338,34 @@ class TestFailureReport:
         assert GRID[0].label() in table
         assert "ValueError" in table
         assert "1.50s" in table
+
+
+class TestEnospcAndKillSites:
+    def test_enospc_kind_raises_real_oserror(self):
+        import errno
+
+        faults.arm("disk.enospc", kind="enospc", times=1)
+        with pytest.raises(OSError) as excinfo:
+            faults.check("disk.enospc", "journal")
+        assert excinfo.value.errno == errno.ENOSPC
+        faults.check("disk.enospc", "journal")  # times=1: second is a no-op
+
+    def test_enospc_in_kinds_tuple(self):
+        assert "enospc" in faults.FAULT_KINDS
+        assert "kill" in faults.FAULT_KINDS
+
+    def test_sigkill_site_inert_in_parent_process(self):
+        # "kill" faults only fire in marked pool workers; the site in
+        # compute_run must be survivable from the parent/serial path.
+        faults.arm("worker.sigkill", kind="kill")
+        runner.compute_run(GRID[0])  # would os._exit if it fired
+
+    def test_sigkill_site_kills_pool_worker_and_engine_recovers(self):
+        # A worker that dies with the group poisons the future; the
+        # engine falls back and resolves every healthy cell anyway.
+        victim = GRID[0]
+        faults.arm("worker.sigkill", kind="kill", match=_is(victim), times=1)
+        engine = ExperimentEngine(jobs=2, retry=FAST, strict=False)
+        results = engine.run(GRID)
+        runner.clear_memo()
+        assert set(results) == set(GRID)  # retry succeeded after times=1
