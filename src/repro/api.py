@@ -47,7 +47,12 @@ __all__ = [
     "CONFIGS",
     "PLAN_KINDS",
     "DEFAULT_MACHINE",
+    "ADVISOR_PROTOCOL",
+    "ADVISOR_STATUSES",
     "ExperimentSpec",
+    "AdvisorRequest",
+    "AdvisorResponse",
+    "validate_tenant",
     "SimOptions",
     "profile",
     "plan",
@@ -55,6 +60,7 @@ __all__ = [
     "run_many",
     "run_journaled",
     "resume_run",
+    "advise",
     "validate",
     "configure",
     "current_engine",
@@ -173,6 +179,195 @@ class ExperimentSpec:
             for i in input_sets
             for s in scales
         ]
+
+
+# -- advisor request/response API ---------------------------------------
+#
+# The serving layer (``repro serve``, docs/serving.md) speaks one frozen
+# request/response pair over the ``repro-advisor-v1`` wire protocol.
+# Like ExperimentSpec, both types are part of the public API contract:
+# their JSON codecs live in repro.core.serialization, are versioned, and
+# are pinned byte-for-byte by golden fixtures — a serve daemon and its
+# clients may be upgraded independently.
+
+#: Wire-protocol identifier of the advisor service (see docs/serving.md).
+ADVISOR_PROTOCOL = "repro-advisor-v1"
+
+#: Tenant names become cache sub-directories; constrain them to a safe
+#: slug so a request can never escape its namespace.
+_TENANT_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+#: Reserved namespace names that would collide with cache machinery.
+_TENANT_RESERVED = frozenset({"quarantine", "stats", "sampling", "tenants"})
+
+
+def validate_tenant(name: str) -> str:
+    """Validate a tenant name; returns it unchanged.
+
+    A tenant is a non-empty slug of ``[A-Za-z0-9._-]`` (max 64 chars)
+    that does not start with a dot and is not a reserved cache
+    directory name.  Raises :class:`ExperimentError` otherwise.
+    """
+    if not isinstance(name, str) or not name:
+        raise ExperimentError(f"tenant must be a non-empty string, got {name!r}")
+    if len(name) > 64 or name.startswith(".") or not set(name) <= _TENANT_OK:
+        raise ExperimentError(
+            f"invalid tenant {name!r}: use up to 64 chars of [A-Za-z0-9._-], "
+            "not starting with '.'"
+        )
+    if name in _TENANT_RESERVED:
+        raise ExperimentError(f"tenant name {name!r} is reserved")
+    return name
+
+
+@dataclass(frozen=True)
+class AdvisorRequest:
+    """One prefetch-advisor request: what to analyse, for whom.
+
+    Exactly one of ``workload`` (a named benchmark model) or ``trace``
+    (a small inline memory trace) must be given.
+
+    Attributes
+    ----------
+    workload:
+        Benchmark model name; the request resolves to the
+        :class:`ExperimentSpec` cell ``(workload, machine, config,
+        input_set, scale)`` and may carry full simulated statistics.
+    trace:
+        Inline trace as a tuple of ``(pc, addr, op)`` event triples
+        (the JSON codec accepts lists).  Trace requests return the
+        profile → MDDLI → rewrite-decision plan only (there is no
+        program to rewrite and re-simulate), so ``want_stats`` must be
+        ``False``.
+    machine:
+        Target machine model name (key of :data:`repro.config.MACHINES`).
+    config:
+        Prefetching configuration, one of :data:`CONFIGS`.
+    input_set, scale:
+        As on :class:`ExperimentSpec`.
+    tenant:
+        Cache namespace this request bills to (see docs/serving.md).
+    request_id:
+        Client-chosen correlation id echoed on every response/event.
+    want_plan / want_stats:
+        Select the artefacts to compute.  Plans exist only for
+        plan-bearing configs (:data:`PLAN_KINDS` plus ``hwsw``).
+    stream:
+        Ask the daemon to stream progress events before the response.
+    """
+
+    workload: str | None = None
+    machine: str = DEFAULT_MACHINE
+    config: str = "swnt"
+    input_set: str = "ref"
+    scale: float = 1.0
+    trace: tuple[tuple[int, int, int], ...] | None = None
+    tenant: str = "default"
+    request_id: str = ""
+    want_plan: bool = True
+    want_stats: bool = True
+    stream: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.trace is None):
+            raise ExperimentError(
+                "exactly one of workload= or trace= must be given"
+            )
+        if self.workload is not None and (
+            not isinstance(self.workload, str) or not self.workload
+        ):
+            raise ExperimentError(
+                f"workload must be a non-empty string, got {self.workload!r}"
+            )
+        if self.config not in CONFIGS:
+            raise ExperimentError(f"unknown config {self.config!r}; valid: {CONFIGS}")
+        if not isinstance(self.scale, (int, float)) or isinstance(self.scale, bool):
+            raise ExperimentError(f"scale must be a number, got {self.scale!r}")
+        if not math.isfinite(self.scale) or self.scale <= 0:
+            raise ExperimentError(f"scale must be positive and finite, got {self.scale}")
+        object.__setattr__(self, "scale", float(self.scale))
+        validate_tenant(self.tenant)
+        if not isinstance(self.request_id, str):
+            raise ExperimentError(
+                f"request_id must be a string, got {self.request_id!r}"
+            )
+        if self.trace is not None:
+            if self.want_stats:
+                raise ExperimentError(
+                    "inline-trace requests carry no executable program; "
+                    "pass want_stats=False (plans only) or name a workload"
+                )
+            # Normalise to nested tuples so the request stays hashable
+            # and equal regardless of how the events were spelled.
+            try:
+                events = tuple(
+                    (int(pc), int(addr), int(op)) for pc, addr, op in self.trace
+                )
+            except (TypeError, ValueError):
+                raise ExperimentError(
+                    "trace must be an iterable of (pc, addr, op) integer triples"
+                ) from None
+            if not events:
+                raise ExperimentError("inline trace must contain at least one event")
+            object.__setattr__(self, "trace", events)
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        """The grid cell a workload-bearing request resolves to."""
+        if self.workload is None:
+            raise ExperimentError("inline-trace requests resolve to no grid cell")
+        return ExperimentSpec(
+            self.workload, self.machine, self.config, self.input_set, self.scale
+        )
+
+    def label(self) -> str:
+        """Compact label for progress output and span attributes."""
+        if self.workload is not None:
+            return f"{self.tenant}:{self.spec.label()}"
+        return f"{self.tenant}:trace[{len(self.trace)}]/{self.machine}/{self.config}"
+
+
+#: Valid :attr:`AdvisorResponse.status` values.  ``ok`` carries the
+#: requested artefacts; ``error`` a permanent per-request failure;
+#: ``rejected`` a backpressure or drain refusal (retry after
+#: ``retry_after`` seconds — the 429 of the wire protocol).
+ADVISOR_STATUSES = ("ok", "error", "rejected")
+
+
+@dataclass(frozen=True)
+class AdvisorResponse:
+    """The advisor's answer to one :class:`AdvisorRequest`.
+
+    ``plan`` and ``stats`` are the *serialised* JSON documents of
+    :class:`~repro.core.report.OptimizationReport` and
+    :class:`~repro.cachesim.stats.RunStats` (``plan_to_dict`` /
+    ``stats_to_dict`` output) — already wire-shaped, so a response
+    served from cache is byte-identical to one computed fresh, and
+    clients without this package can still read them.
+    """
+
+    status: str
+    request_id: str = ""
+    tenant: str = "default"
+    spec: dict | None = None
+    plan: dict | None = None
+    stats: dict | None = None
+    error: str | None = None
+    retry_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ADVISOR_STATUSES:
+            raise ExperimentError(
+                f"unknown status {self.status!r}; valid: {ADVISOR_STATUSES}"
+            )
+        if self.status == "error" and not self.error:
+            raise ExperimentError("error responses must carry an error message")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 # -- facade functions (lazy imports: keep repro.api dependency-free) ----
@@ -306,6 +501,20 @@ def resume_run(
         journal.close()
 
 
+def advise(request: AdvisorRequest) -> AdvisorResponse:
+    """Answer one advisor request in-process (the one-shot path).
+
+    This is the reference semantics of the serving layer: ``repro
+    serve`` answers every request through the same compute kernel, so a
+    served response's ``plan``/``stats`` documents are byte-identical to
+    this function's.  Results flow through the shared runner memo and
+    the active persistent cache like any other cell.
+    """
+    from repro.serve.advisor import compute_advice
+
+    return compute_advice(request)
+
+
 def validate(
     corpus_seed: int = 0,
     quick: bool = True,
@@ -347,8 +556,8 @@ def configure(
     trace: bool = False,
     deterministic_trace: bool = False,
     sim_options: SimOptions | None = None,
-    sim_backend: str | None = None,
     cache_quota: int | None = None,
+    **removed,
 ) -> "ExperimentEngine":
     """Install and return the process-wide default engine.
 
@@ -369,9 +578,6 @@ def configure(
         (precedence: explicit constructor arg > config spec > this
         default; see ``docs/simulators.md``).  ``None`` leaves the
         current default untouched.
-    sim_backend:
-        Deprecated alias for ``sim_options=SimOptions(backend=...)``;
-        still functional, emits a :class:`DeprecationWarning`.
     cache_quota:
         Size budget in bytes for the on-disk result cache; the engine
         evicts least-recently-used entries past it at startup and after
@@ -381,17 +587,16 @@ def configure(
     from repro.cachesim.options import set_default_options
     from repro.experiments import engine as _engine
 
-    if sim_backend is not None:
-        import warnings
-
-        warnings.warn(
-            "configure(sim_backend=...) is deprecated; pass "
-            "configure(sim_options=SimOptions(backend=...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if sim_options is None:
-            sim_options = SimOptions(backend=sim_backend)
+    if removed:
+        # The sim_backend= alias finished its deprecation cycle; give
+        # stale callers a pointed migration error, not a silent kwarg.
+        if "sim_backend" in removed:
+            raise ExperimentError(
+                "configure(sim_backend=...) was removed; pass "
+                "configure(sim_options=SimOptions(backend=...)) instead"
+            )
+        unknown = ", ".join(sorted(removed))
+        raise TypeError(f"configure() got unexpected keyword argument(s): {unknown}")
     if sim_options is not None:
         set_default_options(sim_options)
     if trace or deterministic_trace:

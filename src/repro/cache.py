@@ -52,7 +52,7 @@ import time
 from pathlib import Path
 
 from repro import faults, obs
-from repro.api import ExperimentSpec
+from repro.api import ExperimentSpec, validate_tenant
 from repro.config import get_machine
 from repro.core import serialization
 from repro.errors import AnalysisError, ConfigError
@@ -390,6 +390,30 @@ class ResultCache:
             reg = obs.metrics()
             reg.counter("cache.integrity.corrupt").inc()
             reg.counter("cache.integrity.quarantined").inc()
+
+    # -- tenancy -------------------------------------------------------
+
+    def tenant_view(self, tenant: str, quota_bytes: int | None = None) -> "ResultCache":
+        """An isolated per-tenant namespace of this cache.
+
+        The view is a full :class:`ResultCache` rooted at
+        ``<root>/tenants/<tenant>`` with its own counters, quarantine
+        and quota — one tenant's evictions, corruption or disk-full
+        downgrade never touch another's entries.  Tenant names are
+        validated by :func:`repro.api.validate_tenant`, so a view can
+        never escape the ``tenants/`` subtree (which sits outside the
+        parent's addressable ``<kind>/`` dirs and is therefore invisible
+        to its quota, verify and gc sweeps).
+        """
+        validate_tenant(tenant)
+        return ResultCache(self.root / "tenants" / tenant, quota_bytes=quota_bytes)
+
+    def tenants(self) -> list[str]:
+        """Names of the tenant namespaces that exist under this cache."""
+        base = self.root / "tenants"
+        if not base.is_dir():
+            return []
+        return sorted(p.name for p in base.iterdir() if p.is_dir())
 
     # -- maintenance ---------------------------------------------------
 

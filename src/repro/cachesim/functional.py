@@ -24,9 +24,9 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro import obs
-from repro.cachesim.backend import resolve_backend
 from repro.cachesim.fastlru import FastLRUCache
 from repro.cachesim.lru import LRUCache
+from repro.cachesim.options import resolve_options
 from repro.cachesim.stats import PCStats
 from repro.config import CacheConfig
 from repro.errors import SimulationError
@@ -54,14 +54,15 @@ class FunctionalCacheSim:
     backend:
         Explicit backend override: ``"reference"`` or ``"fast"``; by
         default the config's choice, falling back to the process-wide
-        default (:func:`repro.cachesim.backend.set_default_backend`).
+        default (:func:`repro.cachesim.options.set_default_options` —
+        precedence explicit > spec > default).
     """
 
     def __init__(self, config: CacheConfig, backend: str | None = None) -> None:
         self.config = config
-        self.backend = resolve_backend(
-            backend if backend is not None else getattr(config, "backend", None)
-        )
+        self.backend = resolve_options(
+            backend, getattr(config, "backend", None)
+        ).backend
         self.cache = (
             FastLRUCache(config) if self.backend == "fast" else LRUCache(config)
         )

@@ -14,9 +14,10 @@ carrier for all of them, resolved with one documented precedence:
    ``repro.api.configure(sim_options=...)`` and the CLI, and shipped to
    engine worker processes.
 
-The legacy helpers in :mod:`repro.cachesim.backend` remain as thin
-shims over this module, and ``repro.api.configure(sim_backend=...)``
-still works with a :class:`DeprecationWarning`.
+The migration is complete: the legacy :mod:`repro.cachesim.backend`
+shim module and the ``repro.api.configure(sim_backend=...)`` kwarg are
+gone, and the removed names raise :class:`~repro.errors.ExperimentError`
+with a pointer here.
 """
 
 from __future__ import annotations

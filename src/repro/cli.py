@@ -25,7 +25,15 @@
   (oracle differential suite, metamorphic invariants, codec/rewriter
   fuzzing, mutation self-test); ``--quick`` (default) or ``--full``,
   ``--json-out FILE`` for the machine-readable report.  Exit 0 iff every
-  engine passed.  See ``docs/testing.md``.
+  engine passed.  See ``docs/testing.md``;
+* ``repro serve`` — run the multi-tenant prefetch-advisor daemon:
+  advisor requests arrive as newline-delimited JSON over a TCP or unix
+  socket (``repro-advisor-v1``) and are answered with plans/statistics
+  byte-identical to the one-shot path.  See ``docs/serving.md``.
+
+The engine/cache/obs flag family is defined once in
+:mod:`repro.cli_options` (:class:`~repro.cli_options.EngineCLIOptions`)
+and shared by every engine-bearing subcommand, including ``serve``.
 
 ``simulate`` and ``experiment`` accept ``--jobs N`` (parallel worker
 processes), ``--cache-dir PATH`` and ``--no-cache``: cells of the
@@ -59,6 +67,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cli_options import EngineCLIOptions, cli_parent, parse_size
 from repro.config import MACHINES, get_machine
 from repro.errors import ReproError, RunInterrupted
 
@@ -69,24 +78,8 @@ __all__ = ["main", "build_parser", "EXIT_INTERRUPTED"]
 #: see this code can re-invoke ``repro run --resume <run-id>``.
 EXIT_INTERRUPTED = 75
 
-
-def _parse_size(text: str) -> int:
-    """Parse a byte size with an optional K/M/G suffix (``512M``, ``2G``)."""
-    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
-    cleaned = text.strip().lower().removesuffix("b")
-    multiplier = 1
-    if cleaned and cleaned[-1] in units:
-        multiplier = units[cleaned[-1]]
-        cleaned = cleaned[:-1]
-    try:
-        value = int(float(cleaned) * multiplier)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"unreadable size {text!r} (expected e.g. 65536, 512M, 2G)"
-        ) from None
-    if value < 0:
-        raise argparse.ArgumentTypeError(f"size must be non-negative, got {text!r}")
-    return value
+#: Backwards-compatible alias; the definition moved to repro.cli_options.
+_parse_size = parse_size
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,25 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_obs(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--trace-out",
-            default=None,
-            metavar="FILE",
-            help="write a Chrome trace_event JSON of the run "
-            "(chrome://tracing / ui.perfetto.dev)",
-        )
-        p.add_argument(
-            "--metrics-out",
-            default=None,
-            metavar="FILE",
-            help="write a flat JSON dump of the run's metrics registry",
-        )
-        p.add_argument(
-            "--deterministic-trace",
-            action="store_true",
-            help="use a virtual clock so trace output is byte-stable",
-        )
+    # The engine/cache/obs flag families are declared once in
+    # repro.cli_options and materialised here as argparse parents.
+    obs_parent = cli_parent(("obs",))
+    engine_parent = cli_parent(("engine", "obs"))
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -126,102 +104,53 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.3, help="trip-count multiplier")
         p.add_argument("--input", dest="input_set", default="ref", help="input set")
 
-    def add_engine(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=None,
-            help="worker processes for grid cells (default $REPRO_JOBS or 1)",
-        )
-        p.add_argument(
-            "--cache-dir",
-            default=None,
-            help="persistent result cache directory "
-            "(default $REPRO_CACHE_DIR or ./.repro-cache)",
-        )
-        p.add_argument(
-            "--no-cache",
-            action="store_true",
-            help="disable the persistent result cache",
-        )
-        p.add_argument(
-            "--cache-quota",
-            type=_parse_size,
-            default=None,
-            metavar="SIZE",
-            help="size budget for the result cache (e.g. 512M, 2G); "
-            "least-recently-used entries past it are evicted",
-        )
-        p.add_argument(
-            "--retries",
-            type=int,
-            default=2,
-            metavar="N",
-            help="extra attempts for a failed grid cell (default 2)",
-        )
-        p.add_argument(
-            "--cell-timeout",
-            type=float,
-            default=None,
-            metavar="SECONDS",
-            help="deadline per dispatched cell group (parallel runs only; "
-            "default unbounded)",
-        )
-        p.add_argument(
-            "--sim-backend",
-            default=None,
-            choices=("reference", "fast"),
-            help="cache-simulation backend: 'reference' (dict-based oracle) "
-            "or 'fast' (array-native, bit-identical; see docs/performance.md)",
-        )
-        mode = p.add_mutually_exclusive_group()
-        mode.add_argument(
-            "--strict",
-            dest="strict",
-            action="store_true",
-            default=True,
-            help="abort on any permanently failed cell (default)",
-        )
-        mode.add_argument(
-            "--best-effort",
-            dest="strict",
-            action="store_false",
-            help="keep going on cell failures; report them and exit non-zero",
-        )
+    p_wl = sub.add_parser(
+        "workloads", help="list available benchmark models", parents=[obs_parent]
+    )
 
-    p_wl = sub.add_parser("workloads", help="list available benchmark models")
-    add_obs(p_wl)
-
-    p_opt = sub.add_parser("optimize", help="analyse a workload and print its prefetch plan")
+    p_opt = sub.add_parser(
+        "optimize",
+        help="analyse a workload and print its prefetch plan",
+        parents=[obs_parent],
+    )
     p_opt.add_argument("workload")
     add_common(p_opt)
-    add_obs(p_opt)
     p_opt.add_argument("--emit-asm", action="store_true", help="print rewritten assembly")
     p_opt.add_argument("--no-bypass", action="store_true", help="disable PREFETCHNTA")
 
-    p_sim = sub.add_parser("simulate", help="simulate prefetching configurations")
+    p_sim = sub.add_parser(
+        "simulate",
+        help="simulate prefetching configurations",
+        parents=[engine_parent],
+    )
     p_sim.add_argument("workload")
     add_common(p_sim)
-    add_engine(p_sim)
-    add_obs(p_sim)
     p_sim.add_argument(
         "--configs",
         default="baseline,hw,swnt",
         help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw)",
     )
 
-    p_chr = sub.add_parser("characterize", help="summarise a workload's memory behaviour")
+    p_chr = sub.add_parser(
+        "characterize",
+        help="summarise a workload's memory behaviour",
+        parents=[obs_parent],
+    )
     p_chr.add_argument("workload")
     add_common(p_chr)
-    add_obs(p_chr)
 
-    p_mrc = sub.add_parser("mrc", help="print StatStack miss-ratio curves")
+    p_mrc = sub.add_parser(
+        "mrc", help="print StatStack miss-ratio curves", parents=[obs_parent]
+    )
     p_mrc.add_argument("workload")
     add_common(p_mrc)
-    add_obs(p_mrc)
     p_mrc.add_argument("--loads", type=int, default=3, help="hottest loads to include")
 
-    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp = sub.add_parser(
+        "experiment",
+        help="regenerate a paper table/figure",
+        parents=[engine_parent],
+    )
     p_exp.add_argument(
         "name",
         choices=[
@@ -230,13 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     add_common(p_exp)
-    add_engine(p_exp)
-    add_obs(p_exp)
     p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
 
     p_run = sub.add_parser(
         "run",
         help="run a workload×config grid under a durable, resumable run journal",
+        parents=[engine_parent],
     )
     p_run.add_argument(
         "--workloads",
@@ -249,8 +177,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw)",
     )
     add_common(p_run)
-    add_engine(p_run)
-    add_obs(p_run)
     p_run.add_argument(
         "--run-id",
         default=None,
@@ -290,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cv = cache_sub.add_parser(
         "verify",
         help="check every entry's integrity footer; quarantine corrupt ones",
+        parents=[obs_parent],
     )
     p_cv.add_argument(
         "--json-out",
@@ -300,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cg = cache_sub.add_parser(
         "gc",
         help="reclaim quarantine/temp debris and enforce the size quota",
+        parents=[obs_parent],
     )
     p_cg.add_argument(
         "--older-than",
@@ -310,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cg.add_argument(
         "--cache-quota",
-        type=_parse_size,
+        type=parse_size,
         default=None,
         metavar="SIZE",
         help="evict least-recently-used entries past this budget (e.g. 512M)",
@@ -321,7 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also reap orphaned journal temp files under this run root",
     )
-    p_cs = cache_sub.add_parser("stats", help="print cache size accounting")
+    p_cs = cache_sub.add_parser(
+        "stats", help="print cache size accounting", parents=[obs_parent]
+    )
     p_cs.add_argument(
         "--json-out",
         default=None,
@@ -334,11 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="result cache directory (default $REPRO_CACHE_DIR or ./.repro-cache)",
         )
-        add_obs(p_c)
 
     p_val = sub.add_parser(
         "validate",
         help="run the model-vs-simulation conformance harness",
+        parents=[obs_parent],
     )
     mode = p_val.add_mutually_exclusive_group()
     mode.add_argument(
@@ -385,32 +315,82 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the mutation self-test (it re-runs small engine passes)",
     )
-    add_obs(p_val)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant prefetch-advisor daemon (repro-advisor-v1)",
+        parents=[engine_parent],
+    )
+    addr = p_srv.add_mutually_exclusive_group(required=True)
+    addr.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port to listen on (0 picks a free port)",
+    )
+    addr.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="unix-domain socket path to listen on",
+    )
+    p_srv.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    p_srv.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded intake queue size; requests past it are rejected "
+        "with retry_after (default 64)",
+    )
+    p_srv.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max requests resolved per dispatcher batch (default 16)",
+    )
+    p_srv.add_argument(
+        "--batch-linger",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="how long the dispatcher lingers to coalesce a burst "
+        "into one batch (default 0.005)",
+    )
+    p_srv.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="engine shards; tenants map to shards by name hash (default 2)",
+    )
+    p_srv.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="grace period for in-flight requests on SIGTERM (default 5)",
+    )
+    p_srv.add_argument(
+        "--tenant-quota",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="per-tenant cache namespace budget (default: --cache-quota)",
+    )
     return parser
 
 
 def _configure_engine(args: argparse.Namespace):
     """Install the process-wide engine from the --jobs/--cache/--retries
-    option family."""
-    from repro.api import SimOptions, configure
-    from repro.retry import RetryPolicy
-
-    retry = RetryPolicy(
-        max_attempts=max(0, args.retries) + 1, timeout=args.cell_timeout
-    )
-    sim_options = (
-        SimOptions(backend=args.sim_backend) if args.sim_backend is not None else None
-    )
-    return configure(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        progress=True,
-        retry=retry,
-        strict=args.strict,
-        sim_options=sim_options,
-        cache_quota=getattr(args, "cache_quota", None),
-    )
+    option family (one definition for every subcommand; see
+    :mod:`repro.cli_options`)."""
+    return EngineCLIOptions.from_args(args).install(progress=True)
 
 
 def _engine_epilogue(engine) -> int:
@@ -767,6 +747,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cachesim.options import set_default_options
+    from repro.serve import ServeOptions, serve_forever
+
+    opts = EngineCLIOptions.from_args(args)
+    # No process-wide engine here — the daemon owns its engine pool —
+    # but the sim backend default must land before workers fork.
+    sim = opts.sim_options()
+    if sim is not None:
+        set_default_options(sim)
+    tenant_quota = (
+        args.tenant_quota if args.tenant_quota is not None else opts.cache_quota
+    )
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        queue_capacity=args.queue_capacity,
+        batch_max=args.batch_max,
+        batch_linger=args.batch_linger,
+        shards=args.shards,
+        jobs=opts.jobs,
+        cache_dir=opts.cache_dir,
+        use_cache=opts.use_cache,
+        cache_quota=tenant_quota,
+        retry=opts.retry_policy(),
+        drain_seconds=args.drain_seconds,
+    )
+    return serve_forever(options)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "workloads":
         return _cmd_workloads()
@@ -786,6 +797,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_cache(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

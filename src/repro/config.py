@@ -60,7 +60,7 @@ class CacheConfig:
     backend:
         Simulation backend for simulators driven by this level alone
         (``"reference"`` or ``"fast"``); ``None`` defers to the
-        process-wide default (see :mod:`repro.cachesim.backend`).
+        process-wide default (see :mod:`repro.cachesim.options`).
     """
 
     name: str
@@ -71,7 +71,7 @@ class CacheConfig:
     backend: str | None = None
 
     def __post_init__(self) -> None:
-        from repro.cachesim.backend import validate_backend
+        from repro.cachesim.options import validate_backend
 
         validate_backend(self.backend)
         if self.size_bytes <= 0:
@@ -150,7 +150,7 @@ class MachineConfig:
     sim_backend:
         Cache-simulation backend for hierarchies built from this
         machine (``"reference"`` or ``"fast"``); ``None`` defers to the
-        process-wide default (see :mod:`repro.cachesim.backend`).
+        process-wide default (see :mod:`repro.cachesim.options`).
     """
 
     name: str
@@ -167,7 +167,7 @@ class MachineConfig:
     sim_backend: str | None = None
 
     def __post_init__(self) -> None:
-        from repro.cachesim.backend import validate_backend
+        from repro.cachesim.options import validate_backend
 
         validate_backend(self.sim_backend)
         if self.cores <= 0:

@@ -48,11 +48,17 @@ __all__ = [
     "stats_from_dict",
     "sampling_to_dict",
     "sampling_from_dict",
+    "advisor_request_to_dict",
+    "advisor_request_from_dict",
+    "advisor_response_to_dict",
+    "advisor_response_from_dict",
 ]
 
 _FORMAT = "repro-plan-v1"
 STATS_FORMAT = "repro-stats-v1"
 SAMPLING_FORMAT = "repro-sampling-v1"
+ADVISOR_REQUEST_FORMAT = "repro-advisor-request-v1"
+ADVISOR_RESPONSE_FORMAT = "repro-advisor-response-v1"
 
 
 def plan_to_dict(report: OptimizationReport) -> dict:
@@ -261,6 +267,103 @@ def sampling_from_dict(data: dict) -> SamplingResult:
         sample_rate=float(data["sample_rate"]),
         n_refs=int(data["n_refs"]),
         overhead_estimate=float(data["overhead_estimate"]),
+    )
+
+
+def advisor_request_to_dict(request) -> dict:
+    """Convert an :class:`~repro.api.AdvisorRequest` to JSON primitives.
+
+    The document is the unit the ``repro-advisor-v1`` wire protocol
+    frames one-per-line; field order is stable and every value is a
+    plain JSON primitive.
+    """
+    return {
+        "format": ADVISOR_REQUEST_FORMAT,
+        "workload": request.workload,
+        "machine": request.machine,
+        "config": request.config,
+        "input_set": request.input_set,
+        "scale": request.scale,
+        "trace": (
+            None
+            if request.trace is None
+            else [[pc, addr, op] for pc, addr, op in request.trace]
+        ),
+        "tenant": request.tenant,
+        "request_id": request.request_id,
+        "want_plan": request.want_plan,
+        "want_stats": request.want_stats,
+        "stream": request.stream,
+    }
+
+
+def advisor_request_from_dict(data: dict):
+    """Rebuild an :class:`~repro.api.AdvisorRequest`; validates as it goes.
+
+    Raises :class:`~repro.errors.AnalysisError` for an unknown format and
+    lets the request's own validation (:class:`~repro.errors.ExperimentError`)
+    surface malformed fields — the serve daemon maps both to an
+    ``error`` response rather than dropping the connection.
+    """
+    from repro.api import AdvisorRequest
+
+    if data.get("format") != ADVISOR_REQUEST_FORMAT:
+        raise AnalysisError(
+            f"unsupported advisor request format {data.get('format')!r}"
+        )
+    trace = data.get("trace")
+    return AdvisorRequest(
+        workload=data.get("workload"),
+        machine=data.get("machine", "amd-phenom-ii"),
+        config=data.get("config", "swnt"),
+        input_set=data.get("input_set", "ref"),
+        scale=data.get("scale", 1.0),
+        trace=None if trace is None else tuple(tuple(ev) for ev in trace),
+        tenant=data.get("tenant", "default"),
+        request_id=data.get("request_id", ""),
+        want_plan=bool(data.get("want_plan", True)),
+        want_stats=bool(data.get("want_stats", True)),
+        stream=bool(data.get("stream", False)),
+    )
+
+
+def advisor_response_to_dict(response) -> dict:
+    """Convert an :class:`~repro.api.AdvisorResponse` to JSON primitives.
+
+    ``plan`` and ``stats`` are embedded verbatim — they are already
+    :func:`plan_to_dict` / :func:`stats_to_dict` documents, so a
+    response round-trips byte-for-byte through its own codec.
+    """
+    return {
+        "format": ADVISOR_RESPONSE_FORMAT,
+        "status": response.status,
+        "request_id": response.request_id,
+        "tenant": response.tenant,
+        "spec": response.spec,
+        "plan": response.plan,
+        "stats": response.stats,
+        "error": response.error,
+        "retry_after": response.retry_after,
+    }
+
+
+def advisor_response_from_dict(data: dict):
+    """Rebuild an :class:`~repro.api.AdvisorResponse` from codec output."""
+    from repro.api import AdvisorResponse
+
+    if data.get("format") != ADVISOR_RESPONSE_FORMAT:
+        raise AnalysisError(
+            f"unsupported advisor response format {data.get('format')!r}"
+        )
+    return AdvisorResponse(
+        status=data.get("status", "error"),
+        request_id=data.get("request_id", ""),
+        tenant=data.get("tenant", "default"),
+        spec=data.get("spec"),
+        plan=data.get("plan"),
+        stats=data.get("stats"),
+        error=data.get("error"),
+        retry_after=data.get("retry_after"),
     )
 
 

@@ -19,8 +19,9 @@ fig12_parallel      Fig. 12 (multi-threaded suites)
 
 The engine surface (``configure``/``current_engine``/…) lives on
 :mod:`repro.api`; import it from there.  The historical stringly-typed
-helpers (``profile_workload`` and friends) are gone — accessing them
-raises :class:`~repro.errors.ExperimentError` with a migration pointer.
+helpers (``profile_workload`` and friends) are long gone — the
+tombstones that used to point at their replacements finished their
+deprecation cycle, so the old names now raise plain ``AttributeError``.
 """
 
 from repro.api import (
@@ -41,23 +42,9 @@ __all__ = [
     "run_spec",
 ]
 
-_REMOVED = {
-    "profile_workload": "repro.api.profile",
-    "plan_for": "repro.api.plan",
-    "run_config": "repro.api.run",
-    "run_all_configs": "repro.api.run_many",
-}
-
-
 def __getattr__(name: str):
-    replacement = _REMOVED.get(name)
-    if replacement is not None:
-        from repro.errors import ExperimentError
-
-        raise ExperimentError(
-            f"repro.experiments.{name} was removed; call "
-            f"{replacement}(...) with a repro.api.ExperimentSpec instead"
-        )
+    # Lazy re-export: the engine pulls in multiprocessing machinery that
+    # most importers of this package never need.
     if name == "ExperimentEngine":
         from repro.experiments.engine import ExperimentEngine
 

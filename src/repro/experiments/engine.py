@@ -331,6 +331,13 @@ class ExperimentEngine:
     drain_seconds:
         How long a graceful shutdown waits for in-flight groups before
         terminating the pool.
+    cache:
+        A prebuilt :class:`~repro.cache.ResultCache` to use as-is
+        (e.g. a per-tenant namespace view from the serve daemon).
+        Mutually exclusive with ``cache_dir``/``use_cache``; the
+        caller owns sweeping and quota enforcement.  Also assignable
+        between batches (``engine.cache = …``) — the serve dispatcher
+        swaps tenant views onto one engine this way.
     """
 
     def __init__(
@@ -344,10 +351,18 @@ class ExperimentEngine:
         journal: RunJournal | None = None,
         cache_quota: int | None = None,
         drain_seconds: float = 5.0,
+        cache: ResultCache | None = None,
     ) -> None:
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache: ResultCache | None = None
-        if use_cache:
+        if cache is not None:
+            if use_cache or cache_dir is not None:
+                raise EngineError(
+                    "pass either a prebuilt cache= or cache_dir=/use_cache=, "
+                    "not both"
+                )
+            self.cache = cache
+        elif use_cache:
             self.cache = ResultCache(
                 cache_dir or default_cache_dir(), quota_bytes=cache_quota
             )

@@ -347,25 +347,8 @@ def clear_memo() -> None:
     _rewritten_execution.cache_clear()
 
 
-# -- removed stringly-typed entry points --------------------------------
-
-# The historical five-positional-argument functions were deprecated when
-# the spec API landed and are now gone.  Accessing the old names raises
-# ExperimentError (not AttributeError) so stale callers get a pointed
-# migration message instead of a generic import failure.
-_REMOVED = {
-    "profile_workload": "repro.api.profile",
-    "plan_for": "repro.api.plan",
-    "run_config": "repro.api.run",
-    "run_all_configs": "repro.api.run_many",
-}
-
-
-def __getattr__(name: str):
-    replacement = _REMOVED.get(name)
-    if replacement is not None:
-        raise ExperimentError(
-            f"repro.experiments.runner.{name} was removed; call "
-            f"{replacement}(...) with a repro.api.ExperimentSpec instead"
-        )
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+# The historical stringly-typed five-positional-argument entry points
+# (``profile_workload``/``plan_for``/``run_config``/``run_all_configs``)
+# were deprecated when the ExperimentSpec API landed, tombstoned for two
+# releases, and are now plain AttributeErrors.  The spec-first facade on
+# :mod:`repro.api` is the only public surface.

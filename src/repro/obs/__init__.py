@@ -36,11 +36,13 @@ from repro.obs.tracer import (
     NOOP_SPAN,
     Span,
     Tracer,
+    add_span_listener,
     disable,
     drain_spans,
     enable,
     enabled,
     get_tracer,
+    remove_span_listener,
     set_tracer,
     span,
 )
@@ -54,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "add_span_listener",
     "chrome_trace",
     "disable",
     "drain_spans",
@@ -63,6 +66,7 @@ __all__ = [
     "get_tracer",
     "metrics",
     "metrics_dump",
+    "remove_span_listener",
     "reset_metrics",
     "set_tracer",
     "span",

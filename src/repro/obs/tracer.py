@@ -47,11 +47,13 @@ __all__ = [
     "NOOP_SPAN",
     "Span",
     "Tracer",
+    "add_span_listener",
     "disable",
     "drain_spans",
     "enable",
     "enabled",
     "get_tracer",
+    "remove_span_listener",
     "set_tracer",
     "span",
 ]
@@ -169,6 +171,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._tick = 0
+        #: Live span listeners (see :meth:`add_listener`).
+        self._listeners: list = []
         #: Wall-clock time of tracer creation (trace metadata only).
         self.epoch = time.time()
 
@@ -195,8 +199,39 @@ class Tracer:
         return Span(self, name, attrs)
 
     def _record(self, span: Span) -> None:
+        event = span.as_dict()
         with self._lock:
-            self.finished.append(span.as_dict())
+            self.finished.append(event)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:
+                # A broken listener must never sink the traced work;
+                # listeners are observers, not participants.
+                pass
+
+    # -- live listeners -------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Call ``listener(event_dict)`` on every span finished hereafter.
+
+        Listeners run on the thread that finishes the span, outside the
+        tracer lock; exceptions they raise are swallowed.  The serve
+        daemon uses this to stream progress events to clients while a
+        batch resolves.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Detach a listener; unknown listeners are ignored."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     def ingest(self, events: Iterable[dict]) -> None:
         """Merge finished spans shipped from another process."""
@@ -290,6 +325,24 @@ def set_tracer(tracer: Tracer | None) -> Tracer | None:
     _TRACER = tracer
     ENABLED = tracer is not None
     return previous
+
+
+def add_span_listener(listener) -> bool:
+    """Attach a live span listener to the process tracer.
+
+    Returns ``False`` (and does nothing) when tracing is disabled —
+    there is no tracer to observe, and callers are expected to cope.
+    """
+    if _TRACER is None:
+        return False
+    _TRACER.add_listener(listener)
+    return True
+
+
+def remove_span_listener(listener) -> None:
+    """Detach a live span listener, if a tracer is installed."""
+    if _TRACER is not None:
+        _TRACER.remove_listener(listener)
 
 
 def drain_spans() -> list[dict]:

@@ -1,0 +1,107 @@
+"""A small blocking client for the advisor protocol.
+
+Used by the test suite, the load benchmark and the CI smoke check; it
+is also the reference implementation for external clients — the whole
+protocol is "connect, read the hello line, write request lines, read
+event/response lines".
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.api import AdvisorRequest, AdvisorResponse
+from repro.core import serialization
+from repro.serve import protocol
+
+__all__ = ["AdvisorClient"]
+
+
+class AdvisorClient:
+    """One blocking connection to an advisor daemon.
+
+    Parameters
+    ----------
+    unix_socket / host, port:
+        Where the daemon listens (exactly one address form).
+    timeout:
+        Socket timeout in seconds for connect and reads.
+    """
+
+    def __init__(
+        self,
+        unix_socket: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (unix_socket is None) == (port is None):
+            raise ValueError("give exactly one of unix_socket= or port=")
+        if unix_socket is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_socket)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self.hello = self._read_message()
+        if self.hello.get("protocol") != protocol.PROTOCOL:
+            raise protocol.ProtocolError(
+                f"server speaks {self.hello.get('protocol')!r}, "
+                f"expected {protocol.PROTOCOL!r}"
+            )
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "AdvisorClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # -- protocol -------------------------------------------------------
+
+    def send(self, request: AdvisorRequest) -> None:
+        """Write one request line (pipelining-friendly; does not read)."""
+        self._file.write(protocol.encode_request(request))
+        self._file.flush()
+
+    def _read_message(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise protocol.ProtocolError("server closed the connection")
+        return protocol.decode_line(line)
+
+    def read_response(self, collect_events: list | None = None) -> AdvisorResponse:
+        """Read lines until the next response; events go to the list."""
+        while True:
+            payload = self._read_message()
+            if payload["kind"] == "event":
+                if collect_events is not None:
+                    collect_events.append(payload)
+                continue
+            if payload["kind"] == "response":
+                document = {k: v for k, v in payload.items() if k != "kind"}
+                return serialization.advisor_response_from_dict(document)
+            raise protocol.ProtocolError(
+                f"unexpected {payload['kind']!r} message mid-stream"
+            )
+
+    def advise(
+        self, request: AdvisorRequest, collect_events: list | None = None
+    ) -> AdvisorResponse:
+        """Round-trip one request."""
+        self.send(request)
+        return self.read_response(collect_events=collect_events)
+
+    def send_raw(self, line: bytes) -> None:
+        """Write raw bytes (protocol-error tests)."""
+        self._file.write(line)
+        self._file.flush()

@@ -1,0 +1,150 @@
+"""The sharded engine pool: request batches → responses.
+
+The runner layer keeps process-global state (the in-process memo and
+the active persistent cache installed by ``runner.set_cache``), so the
+daemon resolves every batch from **one dispatcher thread** — concurrency
+lives above (the asyncio intake queue) and below (each engine's worker
+process pool), never *across* engines.  Sharding therefore buys
+isolation of engine accounting per tenant-group, not thread parallelism:
+a tenant's retries, failure reports and batch statistics accrue on its
+own shard.
+
+Resolution of one batch:
+
+1. group the requests by tenant, preserving arrival order;
+2. for each tenant group, swap that tenant's namespaced cache view onto
+   the group's shard engine and resolve all stats-bearing workload specs
+   through :meth:`ExperimentEngine.run_with_report` (parallel across
+   profile groups, best-effort — one poisoned request must not sink its
+   neighbours);
+3. answer every request through :func:`repro.serve.advisor.compute_advice`
+   — workload cells are now warm in the runner memo, so this is a pure
+   lookup and the response document is byte-identical to the one-shot
+   :func:`repro.api.advise` path;
+4. enforce per-tenant cache quotas.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro import obs
+from repro.api import AdvisorRequest, AdvisorResponse
+from repro.errors import ReproError
+from repro.experiments import runner
+from repro.experiments.engine import ExperimentEngine
+from repro.retry import RetryPolicy
+from repro.serve.advisor import compute_advice
+from repro.serve.tenancy import TenantCaches
+
+__all__ = ["EnginePool", "shard_for"]
+
+
+def shard_for(tenant: str, shards: int) -> int:
+    """Stable tenant → shard assignment (CRC32, not Python's salted hash)."""
+    return zlib.crc32(tenant.encode()) % max(1, shards)
+
+
+class EnginePool:
+    """A fixed set of reusable :class:`ExperimentEngine` instances.
+
+    Parameters
+    ----------
+    shards:
+        Number of engines.  Tenants map to shards by CRC32 of their
+        name, so one tenant's accounting always lands on one engine.
+    jobs:
+        Worker processes *per engine* for cold cells (engines run one
+        at a time, so this is also the process-wide compute width).
+    tenants:
+        Per-tenant cache namespaces; ``None`` serves everything
+        memo-only (no persistent cache).
+    retry:
+        Per-cell retry policy handed to every engine.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        jobs: int | None = None,
+        tenants: TenantCaches | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.shards = max(1, int(shards))
+        self.tenants = tenants
+        self._engines = [
+            ExperimentEngine(jobs=jobs, retry=retry, strict=False)
+            for _ in range(self.shards)
+        ]
+        self.batches = 0
+        self.requests = 0
+
+    def engine_for(self, tenant: str) -> ExperimentEngine:
+        """The shard engine a tenant's groups resolve on."""
+        return self._engines[shard_for(tenant, self.shards)]
+
+    def resolve(self, requests: list[AdvisorRequest]) -> list[AdvisorResponse]:
+        """Answer one batch of requests, preserving input order.
+
+        Never raises for per-request trouble: compute failures come back
+        as ``status="error"`` responses.  Must be called from a single
+        thread at a time (the daemon's dispatcher executor guarantees
+        this).
+        """
+        self.batches += 1
+        self.requests += len(requests)
+        with obs.span("serve.batch", requests=len(requests)):
+            by_tenant: dict[str, list[int]] = {}
+            for index, request in enumerate(requests):
+                by_tenant.setdefault(request.tenant, []).append(index)
+
+            responses: list[AdvisorResponse | None] = [None] * len(requests)
+            for tenant, indices in by_tenant.items():
+                engine = self.engine_for(tenant)
+                engine.cache = (
+                    self.tenants.get(tenant) if self.tenants is not None else None
+                )
+                group = [requests[i] for i in indices]
+                # Keep the tenant's cache view installed across the whole
+                # group so plan-only and trace requests persist their
+                # sampling passes into the right namespace too (the
+                # engine's own run installs/restores the same view).
+                previous_cache = runner.set_cache(engine.cache)
+                try:
+                    self._prefill(engine, group)
+                    for i, request in zip(indices, group):
+                        responses[i] = compute_advice(request)
+                finally:
+                    runner.set_cache(previous_cache)
+            if self.tenants is not None:
+                self.tenants.enforce_quotas()
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("serve.batches").inc()
+            reg.counter("serve.requests.resolved").inc(len(requests))
+        return [r for r in responses if r is not None]
+
+    def _prefill(self, engine: ExperimentEngine, group: list[AdvisorRequest]) -> None:
+        """Warm the runner memo for the group's stats-bearing specs.
+
+        Best-effort: a cell that fails permanently here is simply left
+        cold, and :func:`compute_advice` turns the recompute's exception
+        into that request's error response without touching the others.
+        """
+        specs = []
+        for request in group:
+            if request.workload is None or not request.want_stats:
+                continue
+            try:
+                specs.append(request.spec)
+            except ReproError:
+                continue
+        if specs:
+            engine.run_with_report(specs)
+
+    def summaries(self) -> list[str]:
+        """One accounting line per shard engine."""
+        return [
+            f"shard {i}: {engine.summary()}"
+            for i, engine in enumerate(self._engines)
+        ]

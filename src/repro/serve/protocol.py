@@ -1,0 +1,141 @@
+"""Wire framing for ``repro-advisor-v1``.
+
+The protocol is deliberately primitive: newline-delimited JSON objects
+over a byte stream (TCP or a unix socket), one object per line, UTF-8,
+no pipelining requirements and no binary framing.  Anything that can
+open a socket and speak JSON is a client.
+
+Message flow::
+
+    server → client   {"kind": "hello", "protocol": "repro-advisor-v1", ...}
+    client → server   {"kind": "request", ... repro-advisor-request-v1 ...}
+    server → client   {"kind": "event", ...}        (optional, stream=true)
+    server → client   {"kind": "response", ... repro-advisor-response-v1 ...}
+
+Request and response payloads are the versioned
+``repro-advisor-request-v1`` / ``repro-advisor-response-v1`` documents
+from :mod:`repro.core.serialization`, embedded under the envelope's
+``kind`` discriminator.  Encoding is canonical — compact separators,
+sorted keys — so a response's byte form is a pure function of its
+content; the byte-identity acceptance check and response caching both
+lean on that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.api import ADVISOR_PROTOCOL, AdvisorRequest, AdvisorResponse
+from repro.core import serialization
+from repro.errors import ReproError
+
+__all__ = [
+    "PROTOCOL",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "decode_line",
+    "decode_request",
+    "encode_event",
+    "encode_hello",
+    "encode_message",
+    "encode_response",
+]
+
+PROTOCOL = ADVISOR_PROTOCOL
+
+#: Upper bound on one protocol line.  Inline traces dominate request
+#: size (~40 bytes/event encoded), so this admits traces of a few
+#: hundred thousand events while bounding a hostile client's buffer
+#: footprint.  Responses are never anywhere near this large.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized or out-of-protocol line."""
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """Canonical wire form of one message: compact JSON + ``\\n``."""
+    return (
+        json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode()
+
+
+def encode_hello(*, queue_capacity: int, batch_max: int) -> bytes:
+    """The server's greeting: protocol version and intake limits."""
+    return encode_message(
+        {
+            "kind": "hello",
+            "protocol": PROTOCOL,
+            "queue_capacity": queue_capacity,
+            "batch_max": batch_max,
+        }
+    )
+
+
+def encode_request(request: AdvisorRequest) -> bytes:
+    """Wire form of one client request."""
+    payload = serialization.advisor_request_to_dict(request)
+    payload["kind"] = "request"
+    return encode_message(payload)
+
+
+def encode_response(response: AdvisorResponse) -> bytes:
+    """Wire form of one server response."""
+    payload = serialization.advisor_response_to_dict(response)
+    payload["kind"] = "response"
+    return encode_message(payload)
+
+
+def encode_event(
+    event: str, request_id: str = "", **fields: Any
+) -> bytes:
+    """Wire form of one streamed progress event."""
+    payload: dict[str, Any] = {
+        "kind": "event",
+        "event": event,
+        "request_id": request_id,
+    }
+    payload.update(fields)
+    return encode_message(payload)
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line into its envelope dict.
+
+    Raises :class:`ProtocolError` for oversized lines, invalid JSON,
+    non-object payloads, or a missing/unknown ``kind``.
+    """
+    if isinstance(line, str):
+        line = line.encode()
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte limit"
+        )
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if kind not in ("hello", "request", "event", "response"):
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    return payload
+
+
+def decode_request(payload: dict[str, Any]) -> AdvisorRequest:
+    """Turn a decoded ``kind=request`` envelope into an AdvisorRequest.
+
+    Raises :class:`ProtocolError` for any invalid request document, so
+    the daemon has a single exception type to turn into an error
+    response.
+    """
+    document = {k: v for k, v in payload.items() if k != "kind"}
+    try:
+        return serialization.advisor_request_from_dict(document)
+    except ReproError as exc:
+        raise ProtocolError(f"invalid request: {exc}") from None

@@ -98,31 +98,27 @@ class TestFacade:
 
 
 class TestRemovedShims:
-    """The stringly-typed entry points are gone; the old names raise
-    ExperimentError with a migration pointer, not AttributeError."""
+    """The stringly-typed entry points finished their tombstone cycle;
+    the old names are now plain AttributeErrors like any other typo."""
 
     NAMES = ("profile_workload", "plan_for", "run_config", "run_all_configs")
 
     @pytest.mark.parametrize("name", NAMES)
-    def test_runner_names_raise_experiment_error(self, name):
-        with pytest.raises(ExperimentError, match="removed"):
+    def test_runner_names_raise_attribute_error(self, name):
+        with pytest.raises(AttributeError):
             getattr(runner, name)
 
     @pytest.mark.parametrize("name", NAMES)
-    def test_package_names_raise_experiment_error(self, name):
+    def test_package_names_raise_attribute_error(self, name):
         import repro.experiments as experiments
 
-        with pytest.raises(ExperimentError, match="removed"):
+        with pytest.raises(AttributeError):
             getattr(experiments, name)
 
-    @pytest.mark.parametrize("name", NAMES)
-    def test_error_points_at_replacement(self, name):
-        with pytest.raises(ExperimentError, match="repro.api"):
-            getattr(runner, name)
+    def test_engine_lazy_reexport_survives(self):
+        import repro.experiments as experiments
 
-    def test_unknown_attribute_still_attribute_error(self):
-        with pytest.raises(AttributeError):
-            runner.no_such_function
+        assert experiments.ExperimentEngine.__name__ == "ExperimentEngine"
 
     def test_configs_reexported(self):
         assert runner.CONFIGS == CONFIGS

@@ -15,6 +15,10 @@ from pathlib import Path
 import pytest
 
 from repro.core.serialization import (
+    advisor_request_from_dict,
+    advisor_request_to_dict,
+    advisor_response_from_dict,
+    advisor_response_to_dict,
     plan_from_dict,
     plan_to_dict,
     sampling_from_dict,
@@ -29,6 +33,8 @@ CODECS = {
     "plan": (plan_from_dict, plan_to_dict),
     "stats": (stats_from_dict, stats_to_dict),
     "sampling": (sampling_from_dict, sampling_to_dict),
+    "advisor_request": (advisor_request_from_dict, advisor_request_to_dict),
+    "advisor_response": (advisor_response_from_dict, advisor_response_to_dict),
 }
 
 
@@ -63,4 +69,6 @@ def test_golden_fixtures_declare_formats():
         "plan": "repro-plan-v1",
         "stats": "repro-stats-v1",
         "sampling": "repro-sampling-v1",
+        "advisor_request": "repro-advisor-request-v1",
+        "advisor_response": "repro-advisor-response-v1",
     }

@@ -15,19 +15,15 @@ import numpy as np
 import pytest
 
 from repro.cachesim import BandwidthModel, CacheHierarchy, FunctionalCacheSim
-from repro.cachesim.backend import (
-    BACKENDS,
-    get_default_backend,
-    resolve_backend,
-    set_default_backend,
-)
 from repro.cachesim.fastlru import FastLRUCache
 from repro.cachesim.lru import FLAG_DIRTY, FLAG_NTA, LRUCache
 from repro.cachesim.options import (
+    BACKENDS,
     SimOptions,
     get_default_options,
     resolve_options,
     set_default_options,
+    validate_backend,
 )
 from repro.config import CacheConfig, MachineConfig
 from repro.errors import ConfigError
@@ -472,28 +468,28 @@ class TestSimOptionsPrecedence:
         try:
             api.configure(sim_options=SimOptions(backend="fast"))
             assert get_default_options().backend == "fast"
-            assert get_default_backend() == "fast"
         finally:
             set_default_options(previous)
             api.reset_default_engine()
 
-    def test_api_sim_backend_kwarg_deprecated(self):
-        import warnings
-
+    def test_api_sim_backend_kwarg_removed(self):
         from repro import api
+        from repro.errors import ExperimentError
 
-        previous = get_default_options()
-        try:
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                api.configure(sim_backend="fast")
-            assert any(
-                issubclass(w.category, DeprecationWarning) for w in caught
-            )
-            assert get_default_backend() == "fast"
-        finally:
-            set_default_options(previous)
-            api.reset_default_engine()
+        with pytest.raises(ExperimentError, match="sim_options="):
+            api.configure(sim_backend="fast")
+        # Removal is an error, not a silent default change.
+        assert get_default_options().backend == "reference"
+
+    def test_legacy_backend_helpers_tombstoned(self):
+        from repro import cachesim
+        from repro.errors import ExperimentError
+
+        for name in ("get_default_backend", "set_default_backend", "resolve_backend"):
+            with pytest.raises(ExperimentError, match="SimOptions"):
+                getattr(cachesim, name)
+        with pytest.raises(AttributeError):
+            cachesim.totally_unknown_name
 
 
 class TestPathObservability:
@@ -527,8 +523,8 @@ class TestPathObservability:
 
 class TestBackendSelection:
     def test_default_is_reference(self):
-        assert get_default_backend() == "reference"
-        assert resolve_backend(None) == "reference"
+        assert get_default_options().backend == "reference"
+        assert resolve_options(None).backend == "reference"
 
     def test_explicit_wins_over_config_and_default(self):
         config = CacheConfig("T", 1024, ways=2, backend="reference")
@@ -541,17 +537,17 @@ class TestBackendSelection:
         assert FunctionalCacheSim(config).backend == "fast"
 
     def test_process_default_applies(self):
-        previous = set_default_backend("fast")
+        previous = set_default_options(SimOptions(backend="fast"))
         try:
             assert FunctionalCacheSim(CacheConfig("T", 1024, ways=2)).backend == "fast"
         finally:
-            set_default_backend(previous)
+            set_default_options(previous)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
-            resolve_backend("turbo")
+            resolve_options("turbo")
         with pytest.raises(ConfigError):
-            set_default_backend("turbo")
+            validate_backend("turbo")
         with pytest.raises(ConfigError):
             CacheConfig("T", 1024, ways=2, backend="turbo")
         with pytest.raises(ConfigError):
@@ -565,10 +561,10 @@ class TestBackendSelection:
     def test_api_configure_installs_default(self):
         from repro import api
 
-        previous = get_default_backend()
+        previous = get_default_options()
         try:
-            api.configure(sim_backend="fast")
-            assert get_default_backend() == "fast"
+            api.configure(sim_options=SimOptions(backend="fast"))
+            assert get_default_options().backend == "fast"
         finally:
-            set_default_backend(previous)
+            set_default_options(previous)
             api.reset_default_engine()

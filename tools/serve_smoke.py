@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Serve smoke driver for CI: boot the daemon, round-trip, drain.
+
+Runs the real thing — ``python -m repro.cli serve`` as a subprocess on
+a unix socket — and checks the serving contract end to end:
+
+1. the daemon binds its socket and greets with ``repro-advisor-v1``;
+2. a workload request and an inline-trace request both come back
+   ``status="ok"`` with valid ``repro-advisor-response-v1`` documents,
+   and the served bytes are identical to the in-process one-shot
+   :func:`repro.api.advise` result for the same request;
+3. SIGTERM drains: the process exits 0 and unlinks its socket.
+
+Exits non-zero with a diagnostic on any failure.  Usage::
+
+    python tools/serve_smoke.py [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import AdvisorRequest, advise  # noqa: E402
+from repro.serve import protocol  # noqa: E402
+from repro.serve.client import AdvisorClient  # noqa: E402
+
+TRACE = tuple((0x400 + 4 * (i % 5), 0x200000 + 64 * i, 0) for i in range(256))
+
+
+def fail(message: str, daemon_output: str = "") -> None:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    if daemon_output:
+        print(f"--- daemon output ---\n{daemon_output}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    sock = str(tmp / "advisor.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp / "cache")
+
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--unix-socket", sock, "--jobs", "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + args.timeout
+        while not Path(sock).exists():
+            if process.poll() is not None:
+                fail("daemon died before binding", process.stdout.read())
+            if time.monotonic() > deadline:
+                fail("daemon never bound its socket")
+            time.sleep(0.05)
+
+        requests = [
+            AdvisorRequest(
+                workload="libquantum", config="swnt", scale=0.05,
+                tenant="smoke", request_id="smoke-workload",
+            ),
+            AdvisorRequest(
+                trace=TRACE, config="swnt", want_stats=False,
+                tenant="smoke", request_id="smoke-trace",
+            ),
+        ]
+        with AdvisorClient(unix_socket=sock, timeout=args.timeout) as client:
+            if client.hello.get("protocol") != "repro-advisor-v1":
+                fail(f"bad hello: {client.hello}")
+            for request in requests:
+                response = client.advise(request)
+                if response.status != "ok":
+                    fail(f"{request.request_id}: {response.status} ({response.error})")
+                if response.plan is None:
+                    fail(f"{request.request_id}: response carries no plan")
+                served = protocol.encode_response(response)
+                one_shot = protocol.encode_response(advise(request))
+                if served != one_shot:
+                    fail(f"{request.request_id}: served bytes != one-shot advise")
+                print(
+                    f"[smoke] {request.request_id}: ok, "
+                    f"{len(served)} bytes, byte-identical to one-shot"
+                )
+
+        process.send_signal(signal.SIGTERM)
+        output = process.communicate(timeout=args.timeout)[0]
+        if process.returncode != 0:
+            fail(f"daemon exited {process.returncode} on SIGTERM", output)
+        if Path(sock).exists():
+            fail("daemon left its socket behind", output)
+        if "draining" not in output:
+            fail("daemon never reported draining", output)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    print("[smoke] clean SIGTERM drain, exit 0, socket unlinked")
+    print("serve smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
