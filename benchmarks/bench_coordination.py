@@ -1,0 +1,129 @@
+"""Coordinated-prefetching benchmark: fair speedup on contended mixes.
+
+Draws seeded synthetic four-app mixes (the coordinator's training
+distribution, but a disjoint seed), solves each with the analytic
+contention model under three regimes — the uncoordinated static
+back-off curve, the :class:`HeuristicCoordinator`, and the bundled
+:class:`RLCoordinator` policy — and publishes per-contention-class mean
+fair speedups as an artifact.
+
+Two properties gate:
+
+* **no regression** — the heuristic's mean fair speedup must not fall
+  below the uncoordinated static curve's on *any* contention class;
+* **high-contention win** — on the most contended class (where
+  coordination is the paper's whole argument) the heuristic must
+  strictly improve, and the RL policy must not lose to the heuristic's
+  baseline requirement either.
+
+``REPRO_BENCH_MIXES`` scales the mix count (default 180).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.config import get_machine
+from repro.experiments.tables import render_table
+from repro.multicore.contention import solve_mix
+from repro.multicore.coordinator import (
+    HeuristicCoordinator,
+    RLCoordinator,
+    _fair_speedup,
+    _synthetic_profile,
+)
+
+MACHINE = "amd-phenom-ii"
+SEED = 2014  # disjoint from the bundled policy's training seed
+CORES = 4
+
+
+def _mix_rows(machine, count: int) -> list[tuple[float, float, float, float]]:
+    """(offered rho, static fs, heuristic fs, rl fs) per mix, sorted."""
+    mu = machine.bytes_per_cycle() / machine.line_bytes
+    heuristic = HeuristicCoordinator()
+    rl = RLCoordinator.default()
+    rng = np.random.default_rng(SEED)
+    rows = []
+    for _ in range(count):
+        apps = [_synthetic_profile(rng, machine, f"a{i}") for i in range(CORES)]
+        offered = sum(a.dram_lines / a.cycles_alone for a in apps) / mu
+        rows.append(
+            (
+                offered,
+                _fair_speedup(solve_mix(machine, apps)),
+                _fair_speedup(solve_mix(machine, apps, coordinator=heuristic)),
+                _fair_speedup(solve_mix(machine, apps, coordinator=rl)),
+            )
+        )
+    rows.sort()
+    return rows
+
+
+def test_coordination_fair_speedup(bench_mixes, results_dir):
+    machine = get_machine(MACHINE)
+    count = max(30, bench_mixes)
+    rows = _mix_rows(machine, count)
+
+    third = len(rows) // 3
+    classes = [
+        ("low", rows[:third]),
+        ("mid", rows[third : 2 * third]),
+        ("high", rows[2 * third :]),
+    ]
+
+    table_rows = []
+    summary = {}
+    for label, chunk in classes:
+        static = statistics.mean(r[1] for r in chunk)
+        heur = statistics.mean(r[2] for r in chunk)
+        rl = statistics.mean(r[3] for r in chunk)
+        wins = sum(1 for r in chunk if r[2] >= r[1] - 1e-12)
+        summary[label] = (static, heur, rl)
+        table_rows.append(
+            (
+                label,
+                f"{statistics.mean(r[0] for r in chunk):.2f}",
+                f"{static:.4f}",
+                f"{heur:.4f} ({heur - static:+.4f})",
+                f"{rl:.4f} ({rl - static:+.4f})",
+                f"{wins}/{len(chunk)}",
+            )
+        )
+
+    artifact = render_table(
+        (
+            "contention",
+            "offered rho",
+            "static",
+            "heuristic",
+            "rl",
+            "heur wins",
+        ),
+        table_rows,
+        title=(
+            f"Coordinated prefetching: mean fair speedup over {len(rows)} "
+            f"synthetic 4-app mixes ({MACHINE}, seed {SEED})"
+        ),
+    )
+    save_artifact(results_dir, "coordination_fair_speedup.txt", artifact)
+
+    # Gate 1: the heuristic never regresses a contention class.
+    for label, (static, heur, _) in summary.items():
+        assert heur >= static - 1e-9, (
+            f"heuristic regressed fair speedup on {label}-contention mixes: "
+            f"{heur:.4f} < {static:.4f}"
+        )
+    # Gate 2: strict improvement where contention is highest.
+    static_high, heur_high, rl_high = summary["high"]
+    assert heur_high > static_high, (
+        f"heuristic does not improve high-contention mixes: "
+        f"{heur_high:.4f} <= {static_high:.4f}"
+    )
+    assert rl_high >= static_high, (
+        f"rl policy regressed high-contention mixes: "
+        f"{rl_high:.4f} < {static_high:.4f}"
+    )

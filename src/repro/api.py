@@ -71,10 +71,13 @@ __all__ = [
     "RetryPolicy",
 ]
 
-#: The four prefetching configurations of Figs. 4–6, plus the baseline
-#: and the combined HW+SW configuration of §VIII-B (Lee et al.'s
-#: observation, which the paper confirms: combining the two can hurt).
-CONFIGS = ("baseline", "hw", "sw", "swnt", "stride", "hwsw")
+#: The four prefetching configurations of Figs. 4–6, plus the baseline,
+#: the combined HW+SW configuration of §VIII-B (Lee et al.'s
+#: observation, which the paper confirms: combining the two can hurt),
+#: and the coordinated hardware configurations (``hwcoord``/``hwrl``):
+#: solo cells identical to ``hw``, but mixed-workload evaluation runs a
+#: :mod:`repro.multicore.coordinator` policy over the mix.
+CONFIGS = ("baseline", "hw", "sw", "swnt", "stride", "hwsw", "hwcoord", "hwrl")
 
 #: Configurations that require a software prefetch plan.
 PLAN_KINDS = ("sw", "swnt", "stride")

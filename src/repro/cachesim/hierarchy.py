@@ -1030,7 +1030,10 @@ class CacheHierarchy:
             start, duration = self.bandwidth.transfer(self.now, self.machine.line_bytes)
             stats.dram_fills += 1
             self._inflight[target] = start + duration + self.machine.dram_latency
-            self._install_llc(target, FLAG_HW_PREFETCH, stats)
+            if not req.llc_bypass:
+                # A coordinator-retargeted (NTA) fill skips the shared
+                # LLC, conserving neighbours' space like PREFETCHNTA.
+                self._install_llc(target, FLAG_HW_PREFETCH, stats)
             if req.fill_l2:
                 self._install_l2(target, FLAG_HW_PREFETCH, stats)
 

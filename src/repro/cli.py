@@ -155,11 +155,47 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=[
             "table1", "statstack", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig12", "combined",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "combined",
         ],
     )
     add_common(p_exp)
-    p_exp.add_argument("--mixes", type=int, default=40, help="mix count for fig7/fig9")
+    p_exp.add_argument(
+        "--mixes", type=int, default=40, help="mix count for fig7/fig9/fig10/fig11"
+    )
+    p_exp.add_argument(
+        "--coordinator-policy",
+        default=None,
+        metavar="FILE",
+        help="RL coordinator policy artifact for the hwrl rows "
+        "(default: the bundled repro-coordinator-policy-v1)",
+    )
+
+    p_train = sub.add_parser(
+        "train-coordinator",
+        help="train and freeze a multicore prefetch-coordinator RL policy",
+        parents=[obs_parent],
+    )
+    p_train.add_argument("--seed", type=int, default=0, help="training RNG seed")
+    p_train.add_argument(
+        "--episodes", type=int, default=800, help="synthetic training mixes"
+    )
+    p_train.add_argument("--alpha", type=float, default=0.2, help="Q learning rate")
+    p_train.add_argument("--gamma", type=float, default=0.5, help="discount factor")
+    p_train.add_argument(
+        "--machine",
+        default="amd-phenom-ii",
+        choices=sorted(MACHINES),
+        help="machine model the training mixes run on",
+    )
+    p_train.add_argument(
+        "--cores", type=int, default=4, help="apps per training mix"
+    )
+    p_train.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="where to write the repro-coordinator-policy-v1 artifact",
+    )
 
     p_run = sub.add_parser(
         "run",
@@ -604,6 +640,29 @@ def _render_experiment(args: argparse.Namespace) -> None:
         from repro.experiments.fig9_varying_inputs import render_fig9, run_fig9
 
         print(render_fig9(run_fig9(args.machine, n_mixes=args.mixes, scale=scale)))
+    elif name in ("fig10", "fig11"):
+        from repro.experiments.fig7_mixes import run_fig7
+        from repro.multicore.coordinator import set_default_policy_path
+
+        if getattr(args, "coordinator_policy", None):
+            set_default_policy_path(args.coordinator_policy)
+        result = run_fig7(
+            args.machine,
+            n_mixes=args.mixes,
+            scale=scale,
+            configs=("swnt", "hw", "hwcoord", "hwrl"),
+        )
+        if name == "fig10":
+            from repro.experiments.fig10_fair_speedup import (
+                fair_speedup_from,
+                render_fig10,
+            )
+
+            print(render_fig10([fair_speedup_from(result, "orig")]))
+        else:
+            from repro.experiments.fig11_qos import qos_from, render_fig11
+
+            print(render_fig11([qos_from(result, "orig")]))
     elif name == "fig12":
         from repro.experiments.fig12_parallel import render_fig12, run_fig12
 
@@ -615,6 +674,26 @@ def _render_experiment(args: argparse.Namespace) -> None:
         )
 
         print(render_combined(run_combined(args.machine, scale=scale)))
+
+
+def _cmd_train_coordinator(args: argparse.Namespace) -> int:
+    from repro.multicore.coordinator import save_policy, train_coordinator
+
+    def progress(done: int, total: int, states: int) -> None:
+        print(f"episode {done}/{total}: {states} states", file=sys.stderr)
+
+    policy = train_coordinator(
+        seed=args.seed,
+        episodes=args.episodes,
+        alpha=args.alpha,
+        gamma=args.gamma,
+        machine_name=args.machine,
+        cores=args.cores,
+        progress=progress,
+    )
+    save_policy(policy, args.out)
+    print(f"froze {len(policy.q)}-state policy (seed {args.seed}) to {args.out}")
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -791,6 +870,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_mrc(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "train-coordinator":
+        return _cmd_train_coordinator(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "cache":

@@ -52,6 +52,8 @@ __all__ = [
     "advisor_request_from_dict",
     "advisor_response_to_dict",
     "advisor_response_from_dict",
+    "coordinator_policy_to_dict",
+    "coordinator_policy_from_dict",
 ]
 
 _FORMAT = "repro-plan-v1"
@@ -59,6 +61,7 @@ STATS_FORMAT = "repro-stats-v1"
 SAMPLING_FORMAT = "repro-sampling-v1"
 ADVISOR_REQUEST_FORMAT = "repro-advisor-request-v1"
 ADVISOR_RESPONSE_FORMAT = "repro-advisor-response-v1"
+COORDINATOR_POLICY_FORMAT = "repro-coordinator-policy-v1"
 
 
 def plan_to_dict(report: OptimizationReport) -> dict:
@@ -364,6 +367,51 @@ def advisor_response_from_dict(data: dict):
         stats=data.get("stats"),
         error=data.get("error"),
         retry_after=data.get("retry_after"),
+    )
+
+
+def coordinator_policy_to_dict(policy) -> dict:
+    """Convert a frozen coordinator Q policy to JSON primitives.
+
+    Q-table states serialise as ``"r,b,g,s"`` keys; action values are
+    already rounded at freeze time (:func:`repro.multicore.coordinator.
+    train_coordinator`), so the document is bit-stable across
+    round-trips.
+    """
+    return {
+        "format": COORDINATOR_POLICY_FORMAT,
+        "seed": policy.seed,
+        "episodes": policy.episodes,
+        "alpha": policy.alpha,
+        "gamma": policy.gamma,
+        "q": {
+            ",".join(str(v) for v in state): list(row)
+            for state, row in sorted(policy.q.items())
+        },
+    }
+
+
+def coordinator_policy_from_dict(data: dict):
+    """Rebuild a :class:`~repro.multicore.coordinator.CoordinatorPolicy`."""
+    from repro.multicore.coordinator import CoordinatorPolicy
+
+    if data.get("format") != COORDINATOR_POLICY_FORMAT:
+        raise AnalysisError(
+            f"unsupported coordinator policy format {data.get('format')!r}"
+        )
+    try:
+        q = {
+            tuple(int(v) for v in key.split(",")): tuple(float(v) for v in row)
+            for key, row in data.get("q", {}).items()
+        }
+    except ValueError as exc:
+        raise AnalysisError(f"malformed coordinator policy Q table: {exc}") from None
+    return CoordinatorPolicy(
+        seed=int(data.get("seed", 0)),
+        episodes=int(data.get("episodes", 0)),
+        alpha=float(data.get("alpha", 0.0)),
+        gamma=float(data.get("gamma", 0.0)),
+        q=q,
     )
 
 

@@ -20,39 +20,60 @@ __all__ = ["FairSpeedupCell", "fair_speedup_from", "render_fig10"]
 
 @dataclass(frozen=True)
 class FairSpeedupCell:
-    """One bar of Fig. 10."""
+    """One bar of Fig. 10.
+
+    The coordinated columns (``hwcoord_fs``/``hwrl_fs``) are filled in
+    when the sweep was run with the corresponding configurations and
+    rendered as extra bars — the repo's extension of the paper's figure
+    to coordinated hardware prefetching.
+    """
 
     machine: str
     inputs: str  # "orig" or "diff-in"
     sw_fs: float
     hw_fs: float
+    hwcoord_fs: float | None = None
+    hwrl_fs: float | None = None
+
+
+def _mean_fs(result: Fig7Result, config: str) -> float | None:
+    if config not in result.raw:
+        return None
+    base = result.raw["baseline"]
+    return float(
+        np.mean([o.fair_speedup_vs(b) for o, b in zip(result.raw[config], base)])
+    )
 
 
 def fair_speedup_from(result: Fig7Result, inputs_label: str) -> FairSpeedupCell:
     """Average Fair-Speedup of one mix sweep."""
-    base = result.raw["baseline"]
-    sw = np.mean(
-        [o.fair_speedup_vs(b) for o, b in zip(result.raw["swnt"], base)]
-    )
-    hw = np.mean(
-        [o.fair_speedup_vs(b) for o, b in zip(result.raw["hw"], base)]
-    )
     return FairSpeedupCell(
-        machine=result.machine, inputs=inputs_label, sw_fs=float(sw), hw_fs=float(hw)
+        machine=result.machine,
+        inputs=inputs_label,
+        sw_fs=_mean_fs(result, "swnt"),
+        hw_fs=_mean_fs(result, "hw"),
+        hwcoord_fs=_mean_fs(result, "hwcoord"),
+        hwrl_fs=_mean_fs(result, "hwrl"),
     )
 
 
 def render_fig10(cells: list[FairSpeedupCell]) -> str:
-    rows = [
-        (
-            f"{c.machine}/{c.inputs}",
-            f"{c.sw_fs:.3f}",
-            f"{c.hw_fs:.3f}",
-        )
-        for c in cells
-    ]
+    coordinated = any(c.hwcoord_fs is not None or c.hwrl_fs is not None for c in cells)
+    headers = ["machine/inputs", "Soft Pref.+NT", "Hardware Pref."]
+    if coordinated:
+        headers += ["HW+Coord", "HW+RL"]
+
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value:.3f}"
+
+    rows = []
+    for c in cells:
+        row = [f"{c.machine}/{c.inputs}", fmt(c.sw_fs), fmt(c.hw_fs)]
+        if coordinated:
+            row += [fmt(c.hwcoord_fs), fmt(c.hwrl_fs)]
+        rows.append(tuple(row))
     return render_table(
-        ("machine/inputs", "Soft Pref.+NT", "Hardware Pref."),
+        tuple(headers),
         rows,
         title="Fig 10: Fair-Speedup (normalised to baseline), average of mixes",
     )

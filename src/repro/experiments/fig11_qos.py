@@ -21,35 +21,60 @@ __all__ = ["QosCell", "qos_from", "render_fig11"]
 
 @dataclass(frozen=True)
 class QosCell:
-    """One bar pair of Fig. 11."""
+    """One bar pair of Fig. 11.
+
+    The coordinated columns (``hwcoord_qos``/``hwrl_qos``) are filled
+    in when the sweep was run with the corresponding configurations —
+    the repo's extension of the paper's figure to coordinated hardware
+    prefetching.
+    """
 
     machine: str
     inputs: str
     sw_qos: float
     hw_qos: float
+    hwcoord_qos: float | None = None
+    hwrl_qos: float | None = None
+
+
+def _mean_qos(result: Fig7Result, config: str) -> float | None:
+    if config not in result.raw:
+        return None
+    base = result.raw["baseline"]
+    return float(np.mean([o.qos_vs(b) for o, b in zip(result.raw[config], base)]))
 
 
 def qos_from(result: Fig7Result, inputs_label: str) -> QosCell:
     """Average QoS degradation of one mix sweep."""
-    base = result.raw["baseline"]
-    sw = np.mean([o.qos_vs(b) for o, b in zip(result.raw["swnt"], base)])
-    hw = np.mean([o.qos_vs(b) for o, b in zip(result.raw["hw"], base)])
     return QosCell(
-        machine=result.machine, inputs=inputs_label, sw_qos=float(sw), hw_qos=float(hw)
+        machine=result.machine,
+        inputs=inputs_label,
+        sw_qos=_mean_qos(result, "swnt"),
+        hw_qos=_mean_qos(result, "hw"),
+        hwcoord_qos=_mean_qos(result, "hwcoord"),
+        hwrl_qos=_mean_qos(result, "hwrl"),
     )
 
 
 def render_fig11(cells: list[QosCell]) -> str:
-    rows = [
-        (
-            f"{c.machine}/{c.inputs}",
-            f"{c.sw_qos * 100:+.1f}%",
-            f"{c.hw_qos * 100:+.1f}%",
-        )
-        for c in cells
-    ]
+    coordinated = any(
+        c.hwcoord_qos is not None or c.hwrl_qos is not None for c in cells
+    )
+    headers = ["machine/inputs", "Soft Pref.+NT", "Hardware Pref."]
+    if coordinated:
+        headers += ["HW+Coord", "HW+RL"]
+
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value * 100:+.1f}%"
+
+    rows = []
+    for c in cells:
+        row = [f"{c.machine}/{c.inputs}", fmt(c.sw_qos), fmt(c.hw_qos)]
+        if coordinated:
+            row += [fmt(c.hwcoord_qos), fmt(c.hwrl_qos)]
+        rows.append(tuple(row))
     return render_table(
-        ("machine/inputs", "Soft Pref.+NT", "Hardware Pref."),
+        tuple(headers),
         rows,
         title="Fig 11: QoS degradation (closer to zero is better), average of mixes",
     )

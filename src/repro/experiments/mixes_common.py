@@ -17,11 +17,22 @@ from repro.api import ExperimentEngine, ExperimentSpec, current_engine
 from repro.experiments.runner import profile_for, run_spec
 from repro.metrics.throughput import fair_speedup, qos_degradation, weighted_speedup
 from repro.multicore.contention import AppProfile, solve_mix
+from repro.multicore.coordinator import Coordinator, HeuristicCoordinator, RLCoordinator
 from repro.statstack.model import StatStackModel
 from repro.statstack.mrc import PerPCMissRatios, default_size_grid
 from repro.workloads.mixes import Mix
 
-__all__ = ["MixOutcome", "app_profile", "evaluate_mix", "evaluate_mixes"]
+__all__ = [
+    "MixOutcome",
+    "app_profile",
+    "coordinator_for",
+    "evaluate_mix",
+    "evaluate_mixes",
+]
+
+#: Configurations whose solo cells carry a hardware prefetcher whose
+#: speculative stream a coordinator (or the static curve) can retire.
+HW_CONFIGS = ("hw", "hwcoord", "hwrl")
 
 
 @dataclass(frozen=True)
@@ -68,7 +79,7 @@ def app_profile(
     profile = profile_for(name, input_set, scale)
     throttleable = 0.0
     throttle_cost = 0.0
-    if config == "hw":
+    if config in HW_CONFIGS:
         base = run_spec(cell.with_config("baseline"))
         base_lines = base.dram_fills + base.dram_writebacks
         hw_lines = stats.dram_fills + stats.dram_writebacks
@@ -95,6 +106,15 @@ def app_profile(
     )
 
 
+def coordinator_for(config: str) -> Coordinator | None:
+    """The coordination policy a mix-level configuration implies."""
+    if config == "hwcoord":
+        return HeuristicCoordinator()
+    if config == "hwrl":
+        return RLCoordinator.default()
+    return None
+
+
 def evaluate_mix(
     mix: Mix,
     machine_name: str,
@@ -107,7 +127,7 @@ def evaluate_mix(
         app_profile(name, machine_name, config, input_set, scale)
         for name, input_set in zip(mix.members, mix.inputs)
     ]
-    contended = solve_mix(machine, profiles)
+    contended = solve_mix(machine, profiles, coordinator=coordinator_for(config))
     return MixOutcome(
         mix_id=mix.mix_id,
         config=config,
@@ -138,10 +158,11 @@ def evaluate_mixes(
             for name, input_set in zip(mix.members, mix.inputs)
         }
     )
-    # ``hw`` app profiles additionally need the baseline solo run to
-    # size the throttleable stream (see :func:`app_profile`).
+    # Hardware-prefetch app profiles additionally need the baseline
+    # solo run to size the throttleable stream (see :func:`app_profile`).
+    needs_baseline = any(c in HW_CONFIGS for c in configs)
     cell_configs = tuple(dict.fromkeys(
-        (*configs, *(("baseline",) if "hw" in configs else ()))
+        (*configs, *(("baseline",) if needs_baseline else ()))
     ))
     engine.run(
         ExperimentSpec(name, machine_name, config, input_set, scale)

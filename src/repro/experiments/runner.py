@@ -260,7 +260,7 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
     with obs.span("cell.compute", cell=spec.label()):
         machine = get_machine(spec.machine)
 
-        if spec.config in ("baseline", "hw"):
+        if spec.config in ("baseline", "hw", "hwcoord", "hwrl"):
             execution = profile_for_spec(spec).execution
         else:
             execution = _rewritten_execution(
@@ -276,7 +276,7 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
         # prefetcher must not be bolted on afterwards.
         bandwidth = BandwidthModel(machine.bytes_per_cycle())
         prefetcher = None
-        if spec.config in ("hw", "hwsw"):
+        if spec.config in ("hw", "hwsw", "hwcoord", "hwrl"):
             prefetcher = hw_prefetcher_for(machine, bandwidth.utilisation)
         hierarchy = CacheHierarchy(
             machine, prefetcher=prefetcher, bandwidth=bandwidth

@@ -1,6 +1,13 @@
 """Hardware prefetcher models (AMD-like stride, Intel-like streamer)."""
 
-from repro.hwpref.base import HardwarePrefetcher, NullPrefetcher, PrefetchRequest
+from repro.hwpref.base import (
+    DEFAULT_TUNING,
+    HardwarePrefetcher,
+    NullPrefetcher,
+    PrefetchRequest,
+    PrefetchTuning,
+    throttle_factor,
+)
 from repro.hwpref.ghb import GHBPrefetcher
 from repro.hwpref.nextline import AdjacentLinePrefetcher
 from repro.hwpref.stride_pref import PCStridePrefetcher
@@ -10,6 +17,9 @@ __all__ = [
     "HardwarePrefetcher",
     "NullPrefetcher",
     "PrefetchRequest",
+    "PrefetchTuning",
+    "DEFAULT_TUNING",
+    "throttle_factor",
     "PCStridePrefetcher",
     "GHBPrefetcher",
     "AdjacentLinePrefetcher",

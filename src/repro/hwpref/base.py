@@ -22,7 +22,14 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["PrefetchRequest", "HardwarePrefetcher", "NullPrefetcher"]
+__all__ = [
+    "PrefetchRequest",
+    "PrefetchTuning",
+    "DEFAULT_TUNING",
+    "HardwarePrefetcher",
+    "NullPrefetcher",
+    "throttle_factor",
+]
 
 #: Empty batch result, shared by implementations with nothing to issue.
 _EMPTY_BATCH = (
@@ -32,16 +39,62 @@ _EMPTY_BATCH = (
 )
 
 
+def throttle_factor(rho: float) -> float:
+    """Aggressiveness kept by a hardware prefetcher at utilisation ``rho``.
+
+    The one canonical back-off curve: full aggressiveness below 70 %
+    controller utilisation, linear back-off to a 25 % floor at
+    saturation.  Both the per-access prefetcher models (via
+    :meth:`HardwarePrefetcher._throttle_factor`) and the analytic
+    contention model (:mod:`repro.multicore.contention`) evaluate this
+    same function, so the two paths cannot drift.
+    """
+    if rho <= 0.70:
+        return 1.0
+    span = (rho - 0.70) / 0.30
+    return max(0.25, 1.0 - 0.75 * min(span, 1.0))
+
+
 @dataclass(frozen=True)
 class PrefetchRequest:
     """One line the hardware prefetcher wants brought on chip."""
 
     line: int
     fill_l2: bool = True
+    #: Skip the LLC on the fill (non-temporal), leaving shared space to
+    #: neighbours — set when a coordinator retargets the prefetcher.
+    llc_bypass: bool = False
 
     def __post_init__(self) -> None:
         if self.line < 0:
             raise ValueError("prefetch line must be non-negative")
+
+
+@dataclass(frozen=True)
+class PrefetchTuning:
+    """Dynamic reconfiguration knobs a coordinator can set per core.
+
+    ``degree_scale`` multiplies the model's native degree/back-off
+    factor, ``distance_scale`` its prefetch distance; ``nta_bypass``
+    makes issued fills skip the shared LLC; ``enabled=False`` gates the
+    prefetcher off entirely.  The default tuning is a no-op: every model
+    behaves bit-identically to an untuned prefetcher.
+    """
+
+    degree_scale: float = 1.0
+    distance_scale: float = 1.0
+    nta_bypass: bool = False
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.degree_scale <= 1.0:
+            raise ValueError("degree_scale must be in [0, 1]")
+        if not 0.0 < self.distance_scale <= 4.0:
+            raise ValueError("distance_scale must be in (0, 4]")
+
+
+#: The identity tuning (see :class:`PrefetchTuning`).
+DEFAULT_TUNING = PrefetchTuning()
 
 
 class HardwarePrefetcher(ABC):
@@ -52,6 +105,24 @@ class HardwarePrefetcher(ABC):
 
     def __init__(self, utilisation: Callable[[], float] | None = None) -> None:
         self._utilisation = utilisation
+        self._tuning = DEFAULT_TUNING
+
+    @property
+    def tuning(self) -> PrefetchTuning:
+        """The currently applied dynamic tuning."""
+        return self._tuning
+
+    def apply_tuning(self, tuning: PrefetchTuning) -> None:
+        """Reconfigure aggressiveness at a control-epoch boundary.
+
+        Takes effect on the next :meth:`observe` call; composite models
+        forward it to every component.
+        """
+        self._tuning = tuning
+
+    def _request(self, line: int, fill_l2: bool = True) -> PrefetchRequest:
+        """Build a request that honours the current tuning's NTA bypass."""
+        return PrefetchRequest(line, fill_l2, llc_bypass=self._tuning.nta_bypass)
 
     @abstractmethod
     def observe(self, pc: int, addr: int, line: int, l1_hit: bool) -> list[PrefetchRequest]:
@@ -105,24 +176,28 @@ class HardwarePrefetcher(ABC):
 
         Throttled prefetchers read time-varying bandwidth utilisation per
         access, which a single batched call cannot reproduce, so they
-        must be driven through the scalar :meth:`observe` path.
+        must be driven through the scalar :meth:`observe` path.  The
+        same holds for coordinator-tuned prefetchers: the batched result
+        tuple carries no bypass channel and tuning may change between
+        epochs, so any non-default tuning forces the scalar path too.
         """
-        return self._utilisation is None
+        return self._utilisation is None and self._tuning == DEFAULT_TUNING
 
     def _throttle_factor(self) -> float:
-        """Scale factor in (0, 1] applied to prefetch degree.
+        """Scale factor in [0, 1] applied to prefetch degree.
 
-        Linearly backs off from full aggressiveness at 70 % utilisation to
-        a floor of 25 % at saturation.  Subclasses multiply their degree
-        by this factor; without a utilisation callback it is always 1.
+        Combines the shared utilisation back-off curve
+        (:func:`throttle_factor`) with the coordinator's
+        ``degree_scale``; ``enabled=False`` yields 0 (models must then
+        issue nothing).  Without a utilisation callback or tuning it is
+        always 1.
         """
+        tuning = self._tuning
+        if not tuning.enabled:
+            return 0.0
         if self._utilisation is None:
-            return 1.0
-        rho = self._utilisation()
-        if rho <= 0.70:
-            return 1.0
-        span = (rho - 0.70) / 0.30
-        return max(0.25, 1.0 - 0.75 * min(span, 1.0))
+            return tuning.degree_scale
+        return tuning.degree_scale * throttle_factor(self._utilisation())
 
 
 class NullPrefetcher(HardwarePrefetcher):

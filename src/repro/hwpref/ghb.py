@@ -96,7 +96,10 @@ class GHBPrefetcher(HardwarePrefetcher):
         if match < 0:
             return []
 
-        degree = max(1, round(self.degree * self._throttle_factor()))
+        factor = self._throttle_factor()
+        if factor <= 0.0:
+            return []
+        degree = max(1, round(self.degree * factor))
         # replay the deltas that followed the matched pair
         replay = deltas[match + 1 : match + 1 + degree]
         if not replay:
@@ -109,7 +112,7 @@ class GHBPrefetcher(HardwarePrefetcher):
             target = predicted // self.line_bytes
             if target >= 0 and target not in seen:
                 seen.add(target)
-                requests.append(PrefetchRequest(target))
+                requests.append(self._request(target))
         return requests
 
     def observe_batch(
@@ -132,7 +135,7 @@ class GHBPrefetcher(HardwarePrefetcher):
         the exact interleaving) the method falls back to a flat scalar
         loop with identical semantics.
         """
-        if self._utilisation is not None:
+        if not self.batch_safe:
             return super().observe_batch(pcs, addrs, lines, l1_hits)
         n = len(pcs)
         table = self._table

@@ -31,15 +31,24 @@ class AdjacentLinePrefetcher(HardwarePrefetcher):
     ) -> None:
         super().__init__(utilisation)
         self.on_miss_only = on_miss_only
+        self._duty = 0.0
 
     def observe(self, pc: int, addr: int, line: int, l1_hit: bool) -> list[PrefetchRequest]:
         if self.on_miss_only and l1_hit:
             return []
-        if self._throttle_factor() < 0.5:
-            # Under heavy contention the spatial prefetcher is the first
-            # to be gated off.
+        # Duty-cycled back-off: issue buddies on a deterministic fraction
+        # of eligible accesses equal to the throttle factor, so the
+        # documented linear-to-25%-floor curve holds in expectation over
+        # any utilisation band (no cliff, no RNG).  At factor 1.0 the
+        # accumulator fires on every access.
+        factor = self._throttle_factor()
+        if factor <= 0.0:
             return []
-        return [PrefetchRequest(line ^ 1)]
+        self._duty += factor
+        if self._duty < 1.0 - 1e-9:
+            return []
+        self._duty -= 1.0
+        return [self._request(line ^ 1)]
 
     def observe_batch(
         self,
@@ -48,9 +57,9 @@ class AdjacentLinePrefetcher(HardwarePrefetcher):
         lines: np.ndarray,
         l1_hits: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        if self._utilisation is not None:
-            # Throttled: per-access gating is time-dependent; use the
-            # scalar fallback so behaviour matches observe().
+        if not self.batch_safe:
+            # Throttled or tuned: per-access gating is time-dependent;
+            # use the scalar fallback so behaviour matches observe().
             return super().observe_batch(pcs, addrs, lines, l1_hits)
         if self.on_miss_only:
             ev = np.nonzero(~np.asarray(l1_hits, dtype=bool))[0].astype(np.int64)
@@ -61,4 +70,4 @@ class AdjacentLinePrefetcher(HardwarePrefetcher):
         return ev, targets, np.ones(len(ev), dtype=bool)
 
     def reset(self) -> None:
-        pass
+        self._duty = 0.0

@@ -100,11 +100,14 @@ class StreamerPrefetcher(HardwarePrefetcher):
             stream.confidence = 1
             return []
 
+        factor = self._throttle_factor()
+        if factor <= 0.0:
+            return []
         # The run-ahead window widens with confidence: a proven stream is
         # kept `max_degree` lines ahead of demand.  Resident lines are
         # filtered by the hierarchy, so in steady state only the window's
         # leading edge causes fills.
-        window = max(1, round(stream.confidence * self.max_degree / 4 * self._throttle_factor()))
+        window = max(1, round(stream.confidence * self.max_degree / 4 * factor))
         requests: list[PrefetchRequest] = []
         for k in range(1, window + 1):
             target = line + direction * k
@@ -112,7 +115,7 @@ class StreamerPrefetcher(HardwarePrefetcher):
                 break
             if not self.cross_page and target // self.lines_per_page != page:
                 break
-            requests.append(PrefetchRequest(target))
+            requests.append(self._request(target))
         return requests
 
     def observe_batch(
@@ -129,7 +132,7 @@ class StreamerPrefetcher(HardwarePrefetcher):
         one with local bindings and no per-request object construction,
         several times cheaper than ``observe()`` per event.
         """
-        if self._utilisation is not None:
+        if not self.batch_safe:
             return super().observe_batch(pcs, addrs, lines, l1_hits)
         streams = self._streams
         lpp = self.lines_per_page
@@ -244,7 +247,12 @@ class CompositePrefetcher(HardwarePrefetcher):
 
     @property
     def batch_safe(self) -> bool:
-        return self._utilisation is None and all(c.batch_safe for c in self.components)
+        return super().batch_safe and all(c.batch_safe for c in self.components)
+
+    def apply_tuning(self, tuning) -> None:
+        super().apply_tuning(tuning)
+        for comp in self.components:
+            comp.apply_tuning(tuning)
 
     def reset(self) -> None:
         for comp in self.components:

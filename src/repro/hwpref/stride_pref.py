@@ -107,18 +107,21 @@ class PCStridePrefetcher(HardwarePrefetcher):
         if entry.confidence < self.train_threshold:
             return []
 
+        factor = self._throttle_factor()
+        if factor <= 0.0:
+            return []
         direction = 1 if stride > 0 else -1
         # Strides below a line advance one line per several accesses;
         # larger strides skip `step` lines per access.
         step = max(1, abs(stride) // self.line_bytes)
         ramp = min(self.max_ramp, entry.confidence - self.train_threshold + 1)
-        distance = self.distance_lines * ramp
-        degree = max(1, round(self.degree * self._throttle_factor()))
+        distance = max(1, round(self.distance_lines * ramp * self._tuning.distance_scale))
+        degree = max(1, round(self.degree * factor))
         requests: list[PrefetchRequest] = []
         for k in range(degree):
             target = line + direction * step * (distance + k)
             if target >= 0 and target != line:
-                requests.append(PrefetchRequest(target))
+                requests.append(self._request(target))
         return requests
 
     def observe_batch(
@@ -136,7 +139,7 @@ class PCStridePrefetcher(HardwarePrefetcher):
         throttled (time-dependent degree) or when the table would
         overflow mid-batch (FIFO evictions are order-sensitive).
         """
-        if self._utilisation is not None:
+        if not self.batch_safe:
             return super().observe_batch(pcs, addrs, lines, l1_hits)
         pcs = np.ascontiguousarray(pcs, dtype=np.int64)
         addrs = np.ascontiguousarray(addrs, dtype=np.int64)

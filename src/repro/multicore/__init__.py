@@ -2,6 +2,14 @@
 
 from repro.cachesim.bandwidth import BandwidthModel
 from repro.multicore.contention import AppProfile, ContendedApp, solve_mix
+from repro.multicore.coordinator import (
+    Coordinator,
+    CoordinatorPolicy,
+    CoreFeedback,
+    HeuristicCoordinator,
+    RLCoordinator,
+    train_coordinator,
+)
 from repro.multicore.simulator import CoreSpec, MulticoreResult, MulticoreSimulator
 
 __all__ = [
@@ -12,4 +20,10 @@ __all__ = [
     "AppProfile",
     "ContendedApp",
     "solve_mix",
+    "Coordinator",
+    "CoordinatorPolicy",
+    "CoreFeedback",
+    "HeuristicCoordinator",
+    "RLCoordinator",
+    "train_coordinator",
 ]

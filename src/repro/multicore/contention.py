@@ -33,6 +33,12 @@ from dataclasses import dataclass
 
 from repro.config import MachineConfig
 from repro.errors import SimulationError
+from repro.multicore.coordinator import (
+    Coordinator,
+    CoreFeedback,
+    note_decisions,
+    throttle_factor,
+)
 from repro.statstack.mrc import MissRatioCurve
 
 __all__ = ["AppProfile", "ContendedApp", "solve_mix"]
@@ -122,8 +128,16 @@ def solve_mix(
     apps: list[AppProfile],
     iterations: int = 30,
     max_rho: float = 0.98,
+    coordinator: Coordinator | None = None,
 ) -> list[ContendedApp]:
     """Fixed-point solve of LLC sharing + bandwidth queueing for one mix.
+
+    With a ``coordinator``, each iteration plays one control epoch: the
+    coordinator observes per-app bandwidth shares, speculative shares
+    and MRC gradients and its tunings *replace* the static back-off
+    curve — ``degree_scale`` sets the kept fraction of the speculative
+    stream, ``nta_bypass`` removes the surviving speculative fills from
+    the app's LLC insertion rate (they no longer claim shared space).
 
     Returns one :class:`ContendedApp` per input, in order.
     """
@@ -140,13 +154,17 @@ def solve_mix(
     cycles = [a.cycles_alone for a in apps]
     transfers = [float(a.dram_lines) for a in apps]
     shares = [llc_bytes / n] * n
+    insert_lines = [float(a.llc_insert_lines) for a in apps]
 
     for _ in range(iterations):
         # --- LLC partitioning by insertion rate -----------------------
+        # Rates are evaluated at each app's *current* partition: less
+        # space ⇒ more misses ⇒ a higher insertion rate ⇒ more space
+        # next round, which is the fixed point being iterated.
         rates = []
-        for app, t_cyc in zip(apps, cycles):
-            scale = _miss_scale(app, llc_bytes / n if n else llc_bytes)
-            rates.append(app.llc_insert_lines * max(scale, 1e-12) / t_cyc)
+        for app, ins, t_cyc, share in zip(apps, insert_lines, cycles, shares):
+            scale = _miss_scale(app, share)
+            rates.append(ins * max(scale, 1e-12) / t_cyc)
         total_rate = sum(rates)
         if total_rate > 0:
             shares = [llc_bytes * r / total_rate for r in rates]
@@ -162,14 +180,37 @@ def solve_mix(
         # Commodity prefetchers back off when the controller is busy
         # (paper §I); retire a utilisation-dependent share of the
         # speculative transfers, paying back part of the solo benefit.
+        # A coordinator overrides the static curve per core.
         lam = sum(t / c for t, c in zip(new_transfers, cycles))
         rho = min(lam / mu, max_rho)
-        throttle = _throttle_factor(rho)
+        if coordinator is None:
+            throttle = _throttle_factor(rho)
+            kept = [throttle] * n
+            bypass = [False] * n
+        else:
+            feedback = _epoch_feedback(apps, new_transfers, cycles, shares, llc_bytes)
+            tunings = coordinator.decide(feedback, rho)
+            if len(tunings) != n:
+                raise SimulationError(
+                    f"coordinator returned {len(tunings)} tunings for {n} apps"
+                )
+            note_decisions(tunings)
+            kept = [t.degree_scale if t.enabled else 0.0 for t in tunings]
+            bypass = [t.enabled and t.nta_bypass for t in tunings]
         throttle_costs = []
         for i, app in enumerate(apps):
-            retired = (1.0 - throttle) * app.throttleable_lines
+            retired = (1.0 - kept[i]) * app.throttleable_lines
             new_transfers[i] = max(0.0, new_transfers[i] - retired)
-            throttle_costs.append((1.0 - throttle) * app.throttle_cycle_cost)
+            throttle_costs.append((1.0 - kept[i]) * app.throttle_cycle_cost)
+        if coordinator is not None:
+            # Retired speculative fills never reach the LLC; surviving
+            # ones skip it when retargeted to NTA.  Both shrink the
+            # app's insertion rate next iteration.
+            for i, app in enumerate(apps):
+                removed = (1.0 - kept[i]) * app.throttleable_lines
+                if bypass[i]:
+                    removed += kept[i] * app.throttleable_lines
+                insert_lines[i] = max(0.0, app.llc_insert_lines - removed)
 
         # --- bandwidth queueing ----------------------------------------
         # M/M/1 wait, capped by the *closed-system* population: the
@@ -218,17 +259,43 @@ def solve_mix(
     ]
 
 
-def _throttle_factor(rho: float) -> float:
-    """Aggressiveness kept by a hardware prefetcher at utilisation ``rho``.
+# The analytic model and the per-access prefetcher models share one
+# back-off curve (re-exported through the coordinator's feedback
+# utilities); keeping the old private name for existing importers.
+_throttle_factor = throttle_factor
 
-    Mirrors :meth:`repro.hwpref.base.HardwarePrefetcher._throttle_factor`:
-    full aggressiveness below 70 % utilisation, backing off linearly to a
-    25 % floor at saturation.
-    """
-    if rho <= 0.70:
-        return 1.0
-    span = (rho - 0.70) / 0.30
-    return max(0.25, 1.0 - 0.75 * min(span, 1.0))
+
+def _epoch_feedback(
+    apps: list[AppProfile],
+    transfers: list[float],
+    cycles: list[float],
+    shares: list[float],
+    llc_bytes: float,
+) -> list[CoreFeedback]:
+    """Per-app telemetry handed to a coordinator each iteration."""
+    rates = [t / c for t, c in zip(transfers, cycles)]
+    total_rate = sum(rates)
+    feedback = []
+    for app, rate, share in zip(apps, rates, shares):
+        bw_share = rate / total_rate if total_rate > 0 else 1.0 / len(apps)
+        spec = app.throttleable_lines / app.dram_lines if app.dram_lines else 0.0
+        # Doubling-gain: relative miss-ratio drop if the share doubled.
+        # Clamped above the MRC grid floor so a starved app still reads
+        # as cache-hungry rather than (spuriously) flat.
+        lo = max(int(share), 65536)
+        gradient = max(
+            0.0, 1.0 - float(app.mrc.at(2 * lo)) / max(float(app.mrc.at(lo)), 1e-12)
+        )
+        feedback.append(
+            CoreFeedback(
+                name=app.name,
+                bw_share=bw_share,
+                spec_share=min(1.0, spec),
+                mrc_gradient=gradient,
+                llc_share=share / llc_bytes if llc_bytes else 0.0,
+            )
+        )
+    return feedback
 
 
 def _miss_scale(app: AppProfile, share_bytes: float) -> float:

@@ -115,3 +115,73 @@ class TestThrottlingInMix:
             profile(exposure=1.5)
         with pytest.raises(SimulationError):
             profile(throttleable_lines=-1)
+
+
+class TestSharedThrottleCurve:
+    """One canonical back-off curve serves every consumer (no copies)."""
+
+    def test_single_definition(self):
+        from repro.hwpref.base import throttle_factor as base_curve
+        from repro.multicore.coordinator import throttle_factor as coord_curve
+
+        assert _throttle_factor is base_curve
+        assert coord_curve is base_curve
+
+    def test_prefetcher_model_parity(self):
+        # A prefetcher's internal factor must equal the analytic model's
+        # at every utilisation, default tuning applied.
+        from repro.hwpref.stride_pref import PCStridePrefetcher
+
+        rho = {"value": 0.0}
+        pf = PCStridePrefetcher(utilisation=lambda: rho["value"])
+        for value in (0.0, 0.5, 0.7, 0.75, 0.85, 0.95, 1.0):
+            rho["value"] = value
+            assert pf._throttle_factor() == pytest.approx(_throttle_factor(value))
+
+
+class TestPartitionFixedPoint:
+    """Insertion rates must track each app's *current* share (not the
+    equal split), so asymmetric mixes converge away from it."""
+
+    @staticmethod
+    def _mix():
+        hungry = profile(
+            name="hungry",
+            dram_lines=20_000,
+            llc_insert_lines=20_000,
+            mrc=mrc(
+                [
+                    (64 * 1024, 0.9),
+                    (1 << 20, 0.6),
+                    (2 << 20, 0.45),
+                    (4 << 20, 0.3),
+                    (8 << 20, 0.1),
+                ]
+            ),
+            mr_full_llc=0.1,
+        )
+        flat = profile(name="flat", dram_lines=20_000, llc_insert_lines=20_000)
+        return [hungry, flat]
+
+    def test_shares_evolve_past_first_iteration(self, amd):
+        # Pre-fix, rates were always evaluated at llc/n, so the shares
+        # were identical for every iteration count.
+        apps = self._mix()
+        first = solve_mix(amd, apps, iterations=1)
+        converged = solve_mix(amd, apps, iterations=30)
+        assert converged[0].llc_share_bytes < 0.75 * first[0].llc_share_bytes
+        assert converged[1].llc_share_bytes > 1.5 * first[1].llc_share_bytes
+
+    def test_shares_move_monotonically_from_equal_split(self, amd):
+        apps = self._mix()
+        hungry_shares = [
+            solve_mix(amd, apps, iterations=k)[0].llc_share_bytes
+            for k in (1, 2, 3, 5, 10)
+        ]
+        assert all(a > b for a, b in zip(hungry_shares, hungry_shares[1:]))
+
+    def test_shares_still_sum_to_capacity(self, amd):
+        total = sum(
+            c.llc_share_bytes for c in solve_mix(amd, self._mix(), iterations=30)
+        )
+        assert total == pytest.approx(amd.llc.size_bytes)

@@ -19,6 +19,8 @@ from repro.core.serialization import (
     advisor_request_to_dict,
     advisor_response_from_dict,
     advisor_response_to_dict,
+    coordinator_policy_from_dict,
+    coordinator_policy_to_dict,
     plan_from_dict,
     plan_to_dict,
     sampling_from_dict,
@@ -35,6 +37,7 @@ CODECS = {
     "sampling": (sampling_from_dict, sampling_to_dict),
     "advisor_request": (advisor_request_from_dict, advisor_request_to_dict),
     "advisor_response": (advisor_response_from_dict, advisor_response_to_dict),
+    "coordinator_policy": (coordinator_policy_from_dict, coordinator_policy_to_dict),
 }
 
 
@@ -71,4 +74,5 @@ def test_golden_fixtures_declare_formats():
         "sampling": "repro-sampling-v1",
         "advisor_request": "repro-advisor-request-v1",
         "advisor_response": "repro-advisor-response-v1",
+        "coordinator_policy": "repro-coordinator-policy-v1",
     }

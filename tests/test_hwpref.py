@@ -177,3 +177,48 @@ class TestFactories:
             reqs = pf.observe(0, i * 64, i, False)
             lines = [r.line for r in reqs]
             assert len(lines) == len(set(lines))
+
+
+class TestAdjacentLineDutyCycle:
+    """The throttle back-off is duty-cycled, not a hard cliff at 0.5."""
+
+    @staticmethod
+    def _issues(factor, n=100):
+        from repro.hwpref.base import PrefetchTuning
+
+        pf = AdjacentLinePrefetcher()
+        pf.apply_tuning(PrefetchTuning(degree_scale=factor))
+        issued = 0
+        for i in range(n):
+            issued += len(pf.observe(0, i * 128, i * 2, False))
+        return issued
+
+    def test_full_factor_always_fires(self):
+        assert self._issues(1.0) == 100
+
+    def test_band_is_proportional_not_cliff(self):
+        # Pre-fix the prefetcher issued nothing below 0.5 and
+        # everything at/above it; duty-cycling tracks the factor.
+        for factor in (0.4, 0.45, 0.5, 0.55, 0.6):
+            issued = self._issues(factor)
+            assert abs(issued - 100 * factor) <= 1, (factor, issued)
+
+    def test_documented_floor_still_issues(self):
+        assert self._issues(0.25) == 25
+
+    def test_zero_factor_disables(self):
+        from repro.hwpref.base import PrefetchTuning
+
+        pf = AdjacentLinePrefetcher()
+        pf.apply_tuning(PrefetchTuning(enabled=False))
+        assert pf.observe(0, 0, 10, False) == []
+
+    def test_reset_clears_duty_accumulator(self):
+        from repro.hwpref.base import PrefetchTuning
+
+        pf = AdjacentLinePrefetcher()
+        pf.apply_tuning(PrefetchTuning(degree_scale=0.6))
+        first = [len(pf.observe(0, i * 128, i * 2, False)) for i in range(5)]
+        pf.reset()
+        second = [len(pf.observe(0, i * 128, i * 2, False)) for i in range(5)]
+        assert first == second
