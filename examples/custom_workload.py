@@ -58,7 +58,7 @@ def _hash_join(input_set: str, scale: float) -> Program:
 def main() -> None:
     register_workload(
         WorkloadSpec(
-            "hashjoin",
+            "hashjoin-custom",
             _hash_join,
             "hash join: streaming build/probe + hash-table gathers",
             inputs=("ref", "small"),
@@ -66,8 +66,8 @@ def main() -> None:
         )
     )
 
-    program = build_program("hashjoin", "ref", scale=0.4)
-    execution = execute_program(program, seed=workload_seed("hashjoin", "ref"))
+    program = build_program("hashjoin-custom", "ref", scale=0.4)
+    execution = execute_program(program, seed=workload_seed("hashjoin-custom", "ref"))
     sampling = RuntimeSampler(rate=2e-3, seed=11).sample(execution.trace)
     print(f"hashjoin: {len(execution.trace)} events; {sampling.describe()}\n")
 

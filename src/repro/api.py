@@ -76,11 +76,17 @@ __all__ = [
 #: observation, which the paper confirms: combining the two can hurt),
 #: and the coordinated hardware configurations (``hwcoord``/``hwrl``):
 #: solo cells identical to ``hw``, but mixed-workload evaluation runs a
-#: :mod:`repro.multicore.coordinator` policy over the mix.
-CONFIGS = ("baseline", "hw", "sw", "swnt", "stride", "hwsw", "hwcoord", "hwrl")
+#: :mod:`repro.multicore.coordinator` policy over the mix.  The irregular
+#: frontier adds ``swi`` (the indirect ``prefetch B[i+d]; prefetch
+#: A[B[i+d]]`` software rewrite) and ``hwx`` (the cross-core helper LLC
+#: prefetcher of :mod:`repro.hwpref.xcore`).
+CONFIGS = (
+    "baseline", "hw", "sw", "swnt", "stride", "hwsw", "hwcoord", "hwrl",
+    "swi", "hwx",
+)
 
 #: Configurations that require a software prefetch plan.
-PLAN_KINDS = ("sw", "swnt", "stride")
+PLAN_KINDS = ("sw", "swnt", "stride", "swi")
 
 #: Machine used when a spec is only a carrier for machine-independent
 #: work (profiling); any valid machine name would do.

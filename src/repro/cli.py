@@ -128,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--configs",
         default="baseline,hw,swnt",
-        help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw)",
+        help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw,swi,hwx)",
     )
 
     p_chr = sub.add_parser(
@@ -210,7 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--configs",
         default="baseline,hw,swnt",
-        help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw)",
+        help="comma-separated configs (baseline,hw,sw,swnt,stride,hwsw,swi,hwx)",
     )
     add_common(p_run)
     p_run.add_argument(

@@ -46,44 +46,92 @@ def apply_prefetch_plan(
         if d.pc in by_pc:
             raise AnalysisError(f"duplicate prefetch decision for pc {d.pc}")
         by_pc[d.pc] = d
+    direct = {pc: d for pc, d in by_pc.items() if not d.indirect_ahead}
+    indirect = {pc: d for pc, d in by_pc.items() if d.indirect_ahead}
 
-    pcs = sorted(by_pc)
-    pc_arr = np.array(pcs, dtype=np.int64)
-    dist_arr = np.array([by_pc[p].distance_bytes for p in pcs], dtype=np.int64)
-    nta_arr = np.array([by_pc[p].nta for p in pcs], dtype=bool)
-
-    # Match demand events against the decision table.
     demand = trace.demand_mask
-    match_idx = np.searchsorted(pc_arr, trace.pc)
-    match_idx_clipped = np.clip(match_idx, 0, len(pc_arr) - 1)
-    hits = demand & (pc_arr[match_idx_clipped] == trace.pc)
-    if not hits.any():
+    # Inserted-event groups in IR body order: a load's own prefetch
+    # first, an index load's run-ahead prefetch second (matching
+    # ``insert_prefetches``, which appends in that order); the stable
+    # merge preserves group order for events sharing a source position.
+    srcs: list[np.ndarray] = []
+    addrs: list[np.ndarray] = []
+    pcs_out: list[np.ndarray] = []
+    ops: list[np.ndarray] = []
+
+    if direct:
+        pcs = sorted(direct)
+        pc_arr = np.array(pcs, dtype=np.int64)
+        dist_arr = np.array([direct[p].distance_bytes for p in pcs], dtype=np.int64)
+        nta_arr = np.array([direct[p].nta for p in pcs], dtype=bool)
+
+        # Match demand events against the decision table.
+        match_idx = np.searchsorted(pc_arr, trace.pc)
+        match_idx_clipped = np.clip(match_idx, 0, len(pc_arr) - 1)
+        hits = demand & (pc_arr[match_idx_clipped] == trace.pc)
+        src = np.flatnonzero(hits)
+        which = match_idx_clipped[src]
+        new_addr = trace.addr[src] + dist_arr[which]
+        # Prefetching below address zero would fault; the rewriter drops
+        # those (a real compiler guards the loop prologue similarly).
+        valid = new_addr >= 0
+        src = src[valid]
+        which = which[valid]
+        srcs.append(src)
+        addrs.append(new_addr[valid])
+        pcs_out.append(trace.pc[src])
+        ops.append(
+            np.where(
+                nta_arr[which], int(MemOp.PREFETCH_NTA), int(MemOp.PREFETCH)
+            ).astype(np.uint8)
+        )
+
+    for pc in sorted(indirect):
+        d = indirect[pc]
+        # B[i+ahead]: ordinary run-ahead prefetch on the index walk.
+        idx_src = np.flatnonzero(demand & (trace.pc == d.index_pc))
+        if len(idx_src):
+            new_addr = trace.addr[idx_src] + d.distance_bytes
+            valid = new_addr >= 0
+            srcs.append(idx_src[valid])
+            addrs.append(new_addr[valid])
+            pcs_out.append(trace.pc[idx_src[valid]])
+            ops.append(
+                np.full(int(valid.sum()), int(MemOp.PREFETCH), dtype=np.uint8)
+            )
+        # A[B[i+ahead]]: the data load's own address ``ahead``
+        # occurrences later, clamped to its final occurrence — the
+        # trace-level mirror of the interpreter's column shift.
+        src = np.flatnonzero(demand & (trace.pc == pc))
+        if len(src):
+            shifted = np.minimum(
+                np.arange(len(src), dtype=np.int64) + d.indirect_ahead,
+                len(src) - 1,
+            )
+            srcs.append(src)
+            addrs.append(trace.addr[src[shifted]])
+            pcs_out.append(trace.pc[src])
+            ops.append(
+                np.full(
+                    len(src),
+                    int(MemOp.PREFETCH_NTA) if d.nta else int(MemOp.PREFETCH),
+                    dtype=np.uint8,
+                )
+            )
+
+    if not srcs or not sum(len(s) for s in srcs):
         return trace
-
-    src = np.flatnonzero(hits)
-    which = match_idx_clipped[src]
-    new_addr = trace.addr[src] + dist_arr[which]
-    # Prefetching below address zero would fault; the rewriter drops
-    # those (a real compiler guards the loop prologue similarly).
-    valid = new_addr >= 0
-    src = src[valid]
-    which = which[valid]
-    new_addr = new_addr[valid]
-
-    new_pc = trace.pc[src]
-    new_op = np.where(
-        nta_arr[which], int(MemOp.PREFETCH_NTA), int(MemOp.PREFETCH)
-    ).astype(np.uint8)
+    src_all = np.concatenate(srcs)
 
     # Stable merge: original events at key i, inserted ones at i + 0.5.
     keys = np.concatenate(
-        [np.arange(len(trace), dtype=np.float64), src.astype(np.float64) + 0.5]
+        [np.arange(len(trace), dtype=np.float64), src_all.astype(np.float64) + 0.5]
     )
     order = np.argsort(keys, kind="stable")
     return MemoryTrace(
-        np.concatenate([trace.pc, new_pc])[order],
-        np.concatenate([trace.addr, new_addr])[order],
-        np.concatenate([trace.op, new_op])[order],
+        np.concatenate([trace.pc, *pcs_out])[order],
+        np.concatenate([trace.addr, *addrs])[order],
+        np.concatenate([trace.op, *ops])[order],
     )
 
 

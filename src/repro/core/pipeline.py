@@ -47,6 +47,12 @@ class OptimizerSettings:
     enable_nt_stores:
         Also convert safe streaming stores to ``MOVNT`` (extension
         beyond the paper; requires ``store_pcs`` at analysis time).
+    enable_indirect:
+        Rescue irregular-stride loads that are structurally ``A[B[i]]``
+        indirections (requires ``indirect_pairs`` at analysis time):
+        instead of skipping them, emit an indirect decision that runs
+        ahead on the index walk and prefetches the pointed-at data —
+        the ``prefetch B[i+d]; prefetch A[B[i+d]]`` rewrite.
     flatness_tolerance:
         Relative miss-ratio drop between L1 and LLC below which a reusing
         load's curve counts as flat.
@@ -60,6 +66,7 @@ class OptimizerSettings:
     dominance_threshold: float = 0.70
     enable_bypass: bool = True
     enable_nt_stores: bool = False
+    enable_indirect: bool = False
     flatness_tolerance: float = 0.10
     min_samples: int = 4
     latency: float | None = None
@@ -81,6 +88,7 @@ class PrefetchOptimizer:
         sampling: SamplingResult,
         refs_per_pc: dict[int, int] | None = None,
         store_pcs: set[int] | None = None,
+        indirect_pairs: dict[int, tuple[int, int]] | None = None,
     ) -> OptimizationReport:
         """Produce a prefetch plan from one sampling pass.
 
@@ -93,13 +101,18 @@ class PrefetchOptimizer:
             enabling the ``P ≤ R/2`` distance clamp.  When omitted, the
             clamp uses the per-PC share of total references estimated
             from the samples themselves.
+        indirect_pairs:
+            Structural ``A[B[i]]`` pairing (indexed-load PC →
+            (index-load PC, index stride)), typically
+            ``program.indirect_pairs()``.  Consulted only when
+            ``enable_indirect`` is set.
         """
         if len(sampling.reuse) == 0:
             raise AnalysisError("sampling produced no reuse samples")
         with obs.span(
             "analysis.pipeline", machine=self.machine.name
         ) as pipeline_span:
-            report = self._analyze(sampling, refs_per_pc, store_pcs)
+            report = self._analyze(sampling, refs_per_pc, store_pcs, indirect_pairs)
             pipeline_span.set(
                 delinquent=len(report.delinquent),
                 decisions=len(report.decisions),
@@ -111,6 +124,7 @@ class PrefetchOptimizer:
         sampling: SamplingResult,
         refs_per_pc: dict[int, int] | None,
         store_pcs: set[int] | None,
+        indirect_pairs: dict[int, tuple[int, int]] | None = None,
     ) -> OptimizationReport:
         st = self.settings
         machine = self.machine
@@ -160,7 +174,18 @@ class PrefetchOptimizer:
                     min_samples=st.min_samples,
                 )
                 if info is None:
-                    report.skipped[load.pc] = "irregular-stride"
+                    indirect = None
+                    if st.enable_indirect and indirect_pairs:
+                        indirect = self._indirect_decision(
+                            load, sampling, latency, refs_per_pc,
+                            indirect_pairs, ratios,
+                        )
+                    if indirect is None:
+                        report.skipped[load.pc] = "irregular-stride"
+                        continue
+                    decision, idx_info = indirect
+                    report.strides[decision.index_pc] = idx_info
+                    report.decisions.append(decision)
                     continue
                 report.strides[load.pc] = info
 
@@ -203,3 +228,61 @@ class PrefetchOptimizer:
                 d for d in report.decisions if d.pc not in converted
             ]
         return report
+
+    def _indirect_decision(
+        self,
+        load,
+        sampling: SamplingResult,
+        latency: float,
+        refs_per_pc: dict[int, int] | None,
+        indirect_pairs: dict[int, tuple[int, int]],
+        ratios: PerPCMissRatios,
+    ):
+        """Indirect decision for one irregular delinquent load, or None.
+
+        The run-ahead distance is computed on the *index* walk — the
+        regular half of the pair — with the standard distance machinery
+        (including the ``P ≤ R/2`` clamp), then converted to iterations:
+        ``ahead = ceil(|distance| / |index stride|)``.  No resolvable
+        pair, an irregular index walk, or thin sample support all return
+        ``None`` and the load stays skipped as before.
+        """
+        st = self.settings
+        pair = indirect_pairs.get(load.pc)
+        if pair is None:
+            return None
+        index_pc, _index_stride = pair
+        idx_info = analyze_stride(
+            sampling.strides,
+            index_pc,
+            line_bytes=self.machine.line_bytes,
+            dominance_threshold=st.dominance_threshold,
+            min_samples=st.min_samples,
+        )
+        if idx_info is None:
+            return None
+        if refs_per_pc is not None and load.pc in refs_per_pc:
+            refs_in_loop = refs_per_pc[load.pc]
+        else:
+            refs_in_loop = int(load.sample_weight * sampling.n_refs)
+        distance = compute_prefetch_distance(
+            idx_info,
+            self.machine,
+            latency=latency,
+            refs_in_loop=refs_in_loop,
+        )
+        ahead = max(1, -(-abs(distance) // abs(idx_info.dominant_stride)))
+        nta = st.enable_bypass and should_bypass(
+            load.pc, sampling.reuse, ratios, st.flatness_tolerance
+        )
+        return (
+            PrefetchDecision(
+                pc=load.pc,
+                stride=idx_info.dominant_stride,
+                distance_bytes=distance,
+                nta=nta,
+                indirect_ahead=ahead,
+                index_pc=index_pc,
+            ),
+            idx_info,
+        )

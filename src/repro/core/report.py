@@ -75,19 +75,36 @@ class PrefetchDecision:
     ``prefetch[nta] distance(base)`` is placed right after load ``pc``;
     at trace level this means every execution of the load issues a
     prefetch of ``addr + distance_bytes``.
+
+    An *indirect* decision (``indirect_ahead > 0``) covers an ``A[B[i]]``
+    load instead: ``distance_bytes`` then runs ahead on the companion
+    index load ``index_pc`` (prefetching ``B[i+ahead]``), ``stride`` is
+    the index walk's stride, and the data load gets an
+    ``IndirectPrefetch`` of ``A[B[i+ahead]]`` — the two-instruction
+    rewrite of the paper's indirection discussion.
     """
 
     pc: int
     stride: int
     distance_bytes: int
     nta: bool
+    indirect_ahead: int = 0
+    index_pc: int | None = None
 
     def __post_init__(self) -> None:
         if self.distance_bytes == 0:
             raise ValueError("a prefetch with zero distance is useless")
+        if self.indirect_ahead < 0:
+            raise ValueError("indirect_ahead must be non-negative")
+        if self.indirect_ahead > 0 and self.index_pc is None:
+            raise ValueError("an indirect decision requires index_pc")
+        if self.indirect_ahead == 0 and self.index_pc is not None:
+            raise ValueError("index_pc requires indirect_ahead > 0")
 
     @property
     def kind(self) -> str:
+        if self.indirect_ahead:
+            return "prefetch-indirect"
         return "prefetchnta" if self.nta else "prefetch"
 
 

@@ -96,6 +96,13 @@ def plan_to_dict(report: OptimizationReport) -> dict:
                 "stride": d.stride,
                 "distance_bytes": d.distance_bytes,
                 "nta": d.nta,
+                # Indirect fields are emitted only when set so direct
+                # plans keep the original wire shape byte-for-byte.
+                **(
+                    {"indirect_ahead": d.indirect_ahead, "index_pc": d.index_pc}
+                    if d.indirect_ahead
+                    else {}
+                ),
             }
             for d in report.decisions
         ],
@@ -138,6 +145,8 @@ def plan_from_dict(data: dict) -> OptimizationReport:
             stride=d["stride"],
             distance_bytes=d["distance_bytes"],
             nta=d["nta"],
+            indirect_ahead=int(d.get("indirect_ahead", 0)),
+            index_pc=d.get("index_pc"),
         )
         for d in data.get("decisions", [])
     ]

@@ -42,7 +42,11 @@ from repro.config import MachineConfig, get_machine
 from repro.core.pipeline import OptimizerSettings, PrefetchOptimizer
 from repro.core.report import OptimizationReport
 from repro.errors import ExperimentError
-from repro.hwpref import amd_hw_prefetcher, intel_hw_prefetcher
+from repro.hwpref import (
+    amd_hw_prefetcher,
+    cross_core_prefetcher_for,
+    intel_hw_prefetcher,
+)
 from repro.isa.interpreter import ExecutionResult, execute_program
 from repro.isa.program import Program
 from repro.isa.rewriter import insert_prefetches
@@ -199,10 +203,18 @@ def _plan(name: str, machine_name: str, kind: str, scale: float) -> Optimization
     ):
         if kind == "stride":
             return stride_centric_plan(profile.sampling, machine)
-        settings = OptimizerSettings(enable_bypass=(kind == "swnt"))
+        settings = OptimizerSettings(
+            enable_bypass=(kind == "swnt"),
+            enable_indirect=(kind == "swi"),
+        )
         optimizer = PrefetchOptimizer(machine, settings)
+        indirect_pairs = (
+            profile.program.indirect_pairs() if kind == "swi" else None
+        )
         return optimizer.analyze(
-            profile.sampling, refs_per_pc=profile.program.refs_per_pc()
+            profile.sampling,
+            refs_per_pc=profile.program.refs_per_pc(),
+            indirect_pairs=indirect_pairs,
         )
 
 
@@ -260,7 +272,7 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
     with obs.span("cell.compute", cell=spec.label()):
         machine = get_machine(spec.machine)
 
-        if spec.config in ("baseline", "hw", "hwcoord", "hwrl"):
+        if spec.config in ("baseline", "hw", "hwcoord", "hwrl", "hwx"):
             execution = profile_for_spec(spec).execution
         else:
             execution = _rewritten_execution(
@@ -278,6 +290,13 @@ def compute_run(spec: ExperimentSpec) -> RunStats:
         prefetcher = None
         if spec.config in ("hw", "hwsw", "hwcoord", "hwrl"):
             prefetcher = hw_prefetcher_for(machine, bandwidth.utilisation)
+        elif spec.config == "hwx":
+            # Cross-core helper prefetching is untouched by off-chip
+            # back-off in the paper's sense (it fills the shared LLC on
+            # the memory side), so it runs unthrottled.
+            prefetcher = cross_core_prefetcher_for(
+                profile_for_spec(spec).program, machine
+            )
         hierarchy = CacheHierarchy(
             machine, prefetcher=prefetcher, bandwidth=bandwidth
         )

@@ -12,6 +12,12 @@ from repro.hwpref.ghb import GHBPrefetcher
 from repro.hwpref.nextline import AdjacentLinePrefetcher
 from repro.hwpref.stride_pref import PCStridePrefetcher
 from repro.hwpref.streamer import StreamerPrefetcher, amd_hw_prefetcher, intel_hw_prefetcher
+from repro.hwpref.xcore import (
+    CrossCoreLLCPrefetcher,
+    IndexRegion,
+    cross_core_prefetcher_for,
+    index_directory_for,
+)
 
 __all__ = [
     "HardwarePrefetcher",
@@ -26,4 +32,8 @@ __all__ = [
     "StreamerPrefetcher",
     "amd_hw_prefetcher",
     "intel_hw_prefetcher",
+    "CrossCoreLLCPrefetcher",
+    "IndexRegion",
+    "cross_core_prefetcher_for",
+    "index_directory_for",
 ]

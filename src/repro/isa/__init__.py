@@ -3,10 +3,15 @@
 from repro.isa.assembly import emit, parse
 from repro.isa.instructions import (
     AccessPattern,
+    BFSAccess,
     BurstAccess,
     ChaseAccess,
+    CSRAccess,
     FixedAccess,
     GatherAccess,
+    HashProbeAccess,
+    IndexedAccess,
+    IndirectPrefetch,
     Load,
     Prefetch,
     RandomAccess,
@@ -29,9 +34,14 @@ __all__ = [
     "BurstAccess",
     "SweepAccess",
     "FixedAccess",
+    "CSRAccess",
+    "BFSAccess",
+    "HashProbeAccess",
+    "IndexedAccess",
     "Load",
     "Store",
     "Prefetch",
+    "IndirectPrefetch",
     "Kernel",
     "Program",
     "ExecutionResult",

@@ -34,9 +34,14 @@ __all__ = [
     "BurstAccess",
     "SweepAccess",
     "FixedAccess",
+    "CSRAccess",
+    "BFSAccess",
+    "HashProbeAccess",
+    "IndexedAccess",
     "Load",
     "Store",
     "Prefetch",
+    "IndirectPrefetch",
     "Instruction",
 ]
 
@@ -172,6 +177,126 @@ class SweepAccess(AccessPattern):
 
 
 @dataclass(frozen=True)
+class CSRAccess(AccessPattern):
+    """CSR edge-array traversal in shuffled node order (sparse matvec)."""
+
+    base: int
+    n_nodes: int
+    avg_degree: int = 8
+    elem_bytes: int = 8
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.csr_pattern(
+            rng, self.base, self.n_nodes, self.avg_degree, n, self.elem_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"csr(base={self.base:#x}, nodes={self.n_nodes}, "
+            f"degree={self.avg_degree})"
+        )
+
+
+@dataclass(frozen=True)
+class BFSAccess(AccessPattern):
+    """Breadth-first frontier expansion over a seeded random graph."""
+
+    base: int
+    n_nodes: int
+    avg_degree: int = 4
+    node_bytes: int = 64
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.bfs_frontier_pattern(
+            rng, self.base, self.n_nodes, self.avg_degree, n, self.node_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"bfs(base={self.base:#x}, nodes={self.n_nodes}, "
+            f"degree={self.avg_degree})"
+        )
+
+
+@dataclass(frozen=True)
+class HashProbeAccess(AccessPattern):
+    """Uniform-hashed bucket starts with short linear-probe runs."""
+
+    base: int
+    n_buckets: int
+    avg_probe: int = 2
+    bucket_bytes: int = 64
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.hash_probe_pattern(
+            rng, self.base, self.n_buckets, n, self.avg_probe, self.bucket_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"hash(base={self.base:#x}, buckets={self.n_buckets}, "
+            f"probe={self.avg_probe})"
+        )
+
+
+@dataclass(frozen=True)
+class IndexedAccess(AccessPattern):
+    """Index-array indirection ``A[B[i]]`` driven by a seeded index array.
+
+    The ``B`` array's contents are input data: they are a pure function
+    of ``index_seed`` (via :func:`repro.trace.synthesis.index_array_values`),
+    *not* of the interpreter's execution RNG.  That makes the indices
+    reconstructible by anything that legitimately reads the array — the
+    iteration-``i`` address is ``base + B[i mod n_indices] * elem_bytes``
+    for both the demand stream and a cross-core observer resolving
+    ``B``-line fills into ``A``-line prefetches.
+
+    ``index_base``/``index_elem_bytes`` locate the companion ``B`` array
+    in the address space; the matching index *load* is a plain
+    :class:`StridedAccess` at that base, and the pairing is recovered
+    structurally (see ``Program.indirect_pairs``).
+    """
+
+    base: int
+    region_bytes: int
+    index_base: int
+    n_indices: int
+    index_seed: int
+    index_elem_bytes: int = 8
+    elem_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.region_bytes <= 0:
+            raise ProgramError("region_bytes must be positive")
+        if self.n_indices <= 0:
+            raise ProgramError("n_indices must be positive")
+        if self.index_elem_bytes <= 0 or self.elem_bytes <= 0:
+            raise ProgramError("element sizes must be positive")
+
+    @property
+    def n_slots(self) -> int:
+        return max(1, self.region_bytes // self.elem_bytes)
+
+    def index_values(self) -> np.ndarray:
+        """The ``B`` array contents (pure function of ``index_seed``)."""
+        return synthesis.index_array_values(
+            self.index_seed, self.n_indices, self.n_slots
+        )
+
+    def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return synthesis.indexed_pattern(
+            self.base, n, self.index_values(), self.elem_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"indexed(base={self.base:#x}, region={self.region_bytes}, "
+            f"idx={self.index_base:#x}[{self.n_indices}], "
+            f"seed={self.index_seed})"
+        )
+
+
+@dataclass(frozen=True)
 class FixedAccess(AccessPattern):
     """Same address every iteration (a scalar in memory)."""
 
@@ -237,4 +362,28 @@ class Prefetch:
             raise ProgramError("prefetch distance must be non-zero")
 
 
-Instruction = Load | Store | Prefetch
+@dataclass(frozen=True)
+class IndirectPrefetch:
+    """A software prefetch of ``A[B[i+ahead]]`` covering an indexed load.
+
+    The second half of the paper-style indirect rewrite: after a
+    ``prefetch distance(B)`` brings the future index line in, this
+    instruction prefetches the *data* line the future index points at.
+    Its iteration-``i`` address is the target load's address ``ahead``
+    iterations later (the last iteration's address past the end), which
+    is exactly ``A[B[i+ahead]]`` for an :class:`IndexedAccess` target —
+    computable because the index array is seeded input data.
+    """
+
+    target: str
+    ahead: int
+    nta: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ProgramError("indirect prefetch target must be non-empty")
+        if self.ahead <= 0:
+            raise ProgramError("indirect prefetch ahead must be positive")
+
+
+Instruction = Load | Store | Prefetch | IndirectPrefetch

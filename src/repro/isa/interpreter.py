@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ProgramError
-from repro.isa.instructions import Load, Prefetch, Store
+from repro.isa.instructions import IndirectPrefetch, Load, Store
 from repro.isa.program import Kernel, Program
 from repro.trace.events import MemOp, MemoryTrace
 
@@ -103,7 +103,18 @@ def execute_kernel(
                     f"prefetch target {instr.target!r} missing in kernel "
                     f"{kernel.name!r}"
                 )
-            col = np.maximum(target_col + instr.distance_bytes, 0)
+            if isinstance(instr, IndirectPrefetch):
+                # A[B[i+ahead]]: the target's own address ``ahead``
+                # iterations later, tail clamped to the final iteration.
+                # Derived purely from the already-generated demand
+                # column, so no randomness is consumed and the demand
+                # stream stays bit-identical.
+                ahead = min(instr.ahead, t)
+                col = np.concatenate(
+                    (target_col[ahead:], np.full(ahead, target_col[-1]))
+                )
+            else:
+                col = np.maximum(target_col + instr.distance_bytes, 0)
             addr_cols.append(col)
             # The prefetch shares its target's PC, exactly like the
             # paper's `prefetch distance(base)` which reuses the load's

@@ -18,7 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ProgramError
-from repro.isa.instructions import Instruction, Load, Prefetch, Store
+from repro.isa.instructions import (
+    IndexedAccess,
+    IndirectPrefetch,
+    Instruction,
+    Load,
+    Prefetch,
+    Store,
+    StreamAccess,
+    StridedAccess,
+)
 
 __all__ = ["Kernel", "Program"]
 
@@ -64,7 +73,10 @@ class Kernel:
         if len(labels) != len(set(labels)):
             raise ProgramError(f"kernel {self.name!r}: duplicate labels")
         for instr in self.body:
-            if isinstance(instr, Prefetch) and instr.target not in labels:
+            if (
+                isinstance(instr, (Prefetch, IndirectPrefetch))
+                and instr.target not in labels
+            ):
                 raise ProgramError(
                     f"kernel {self.name!r}: prefetch targets unknown label "
                     f"{instr.target!r}"
@@ -163,6 +175,43 @@ class Program:
             for instr in kernel.mem_instructions:
                 out[mapping[(kernel.name, instr.label)]] = kernel.trips
         return out
+
+    def indirect_pairs(self) -> dict[int, tuple[int, int]]:
+        """Indexed-load PC → (index-load PC, index stride) per kernel.
+
+        An ``A[B[i]]`` pair is recovered structurally: a load whose
+        pattern is :class:`IndexedAccess` is paired with the load in the
+        *same kernel* whose stream/strided pattern starts at the indexed
+        pattern's ``index_base`` — the ``B[i]`` walk.  Pairs whose index
+        walk is missing (or not sequentially strided) are omitted: with
+        no resolvable future index there is nothing to run ahead on.
+        """
+        mapping = self.pc_map()
+        pairs: dict[int, tuple[int, int]] = {}
+        for kernel in self.kernels:
+            index_loads: dict[int, tuple[int, int]] = {}
+            for instr in kernel.mem_instructions:
+                if not isinstance(instr, Load):
+                    continue
+                pat = instr.pattern
+                if isinstance(pat, StreamAccess):
+                    index_loads[pat.base] = (
+                        mapping[(kernel.name, instr.label)],
+                        pat.elem_bytes,
+                    )
+                elif isinstance(pat, StridedAccess) and pat.stride_bytes > 0:
+                    index_loads[pat.base] = (
+                        mapping[(kernel.name, instr.label)],
+                        pat.stride_bytes,
+                    )
+            for instr in kernel.mem_instructions:
+                if isinstance(instr, Load) and isinstance(
+                    instr.pattern, IndexedAccess
+                ):
+                    entry = index_loads.get(instr.pattern.index_base)
+                    if entry is not None:
+                        pairs[mapping[(kernel.name, instr.label)]] = entry
+        return pairs
 
     def with_kernels(self, kernels: tuple[Kernel, ...]) -> "Program":
         """Copy with replaced kernels (used by the rewriter)."""

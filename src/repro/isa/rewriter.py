@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from repro.core.report import OptimizationReport, PrefetchDecision
 from repro.errors import ProgramError
-from repro.isa.instructions import Instruction, Load, Prefetch, Store
+from repro.isa.instructions import (
+    IndirectPrefetch,
+    Instruction,
+    Load,
+    Prefetch,
+    Store,
+)
 from repro.isa.program import Kernel, Program
 
 __all__ = ["insert_prefetches", "convert_nt_stores"]
@@ -66,6 +72,7 @@ def insert_prefetches(
 
     pc_map = program.pc_map()
     by_location: dict[tuple[str, str], PrefetchDecision] = {}
+    index_runahead: dict[tuple[str, str], PrefetchDecision] = {}
     pc_to_location = {pc: loc for loc, pc in pc_map.items()}
     for decision in decisions:
         loc = pc_to_location.get(decision.pc)
@@ -76,6 +83,17 @@ def insert_prefetches(
         if loc in by_location:
             raise ProgramError(f"duplicate decision for pc {decision.pc}")
         by_location[loc] = decision
+        if decision.indirect_ahead:
+            # The first half of the indirect rewrite: run ahead on the
+            # B[i] index walk so B[i+ahead] is resident when the
+            # IndirectPrefetch resolves A[B[i+ahead]].
+            idx_loc = pc_to_location.get(decision.index_pc)
+            if idx_loc is None:
+                raise ProgramError(
+                    f"indirect decision for pc {decision.pc} references "
+                    f"unknown index pc {decision.index_pc}"
+                )
+            index_runahead[idx_loc] = decision
 
     new_kernels: list[Kernel] = []
     for kernel in program.kernels:
@@ -84,13 +102,33 @@ def insert_prefetches(
         for instr in kernel.body:
             new_body.append(instr)
             if isinstance(instr, (Load, Store)):
-                decision = by_location.get((kernel.name, instr.label))
+                loc = (kernel.name, instr.label)
+                decision = by_location.get(loc)
                 if decision is not None:
+                    if decision.indirect_ahead:
+                        new_body.append(
+                            IndirectPrefetch(
+                                target=instr.label,
+                                ahead=decision.indirect_ahead,
+                                nta=decision.nta,
+                            )
+                        )
+                    else:
+                        new_body.append(
+                            Prefetch(
+                                target=instr.label,
+                                distance_bytes=decision.distance_bytes,
+                                nta=decision.nta,
+                            )
+                        )
+                    changed = True
+                runahead = index_runahead.get(loc)
+                if runahead is not None:
                     new_body.append(
                         Prefetch(
                             target=instr.label,
-                            distance_bytes=decision.distance_bytes,
-                            nta=decision.nta,
+                            distance_bytes=runahead.distance_bytes,
+                            nta=False,
                         )
                     )
                     changed = True

@@ -111,7 +111,13 @@ def _advise_trace(request: AdvisorRequest) -> AdvisorResponse:
         if kind == "stride":
             plan = stride_centric_plan(sampling, machine)
         else:
-            settings = OptimizerSettings(enable_bypass=(kind == "swnt"))
+            # An inline trace carries no program structure, so "swi"
+            # has no A[B[i]] pairs to resolve: enable_indirect is set
+            # but the analysis degrades to the plain rewrite.
+            settings = OptimizerSettings(
+                enable_bypass=(kind == "swnt"),
+                enable_indirect=(kind == "swi"),
+            )
             plan = PrefetchOptimizer(machine, settings).analyze(sampling)
         plan_doc = serialization.plan_to_dict(plan)
     return AdvisorResponse(

@@ -21,9 +21,21 @@ Patterns
 ``burst_strided_pattern``
     Many short strided bursts at random bases — the access shape that
     "tricks" hardware stride prefetchers on cigar (paper §VII-A).
+``csr_pattern``
+    CSR edge-array traversal: variable-length sequential runs at
+    scattered row offsets (sparse matrix / adjacency sweeps).
+``bfs_frontier_pattern``
+    Breadth-first visitation order over a seeded random graph.
+``hash_probe_pattern``
+    Uniform-hashed bucket starts with short linear-probe runs.
+``index_array_values`` / ``indexed_pattern``
+    The ``A[B[i]]`` pair: a seeded index array (program *input data*,
+    reconstructible from its seed alone) and the gather it drives.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -36,6 +48,11 @@ __all__ = [
     "random_pattern",
     "gather_pattern",
     "burst_strided_pattern",
+    "csr_pattern",
+    "bfs_frontier_pattern",
+    "hash_probe_pattern",
+    "index_array_values",
+    "indexed_pattern",
 ]
 
 
@@ -224,3 +241,166 @@ def burst_strided_pattern(
     within = stride_bytes * np.arange(burst_len, dtype=np.int64)
     addrs = (starts[:, None] + within[None, :]).reshape(-1)[:n]
     return base + addrs
+
+
+def _expand_runs(starts: np.ndarray, lengths: np.ndarray, n: int) -> np.ndarray:
+    """Element positions of variable-length sequential runs, truncated.
+
+    Run *k* contributes ``starts[k], starts[k]+1, ...`` for ``lengths[k]``
+    elements; runs are concatenated (cycling if they cover fewer than
+    ``n`` elements) and the first ``n`` positions returned — all without
+    per-element Python loops.
+    """
+    total = int(lengths.sum())
+    if total <= 0:
+        raise TraceError("runs must cover at least one element")
+    reps = -(-n // total)
+    if reps > 1:
+        starts = np.tile(starts, reps)
+        lengths = np.tile(lengths, reps)
+    ends = np.cumsum(lengths)
+    run_id = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+    offsets = np.arange(len(run_id), dtype=np.int64) - (ends - lengths)[run_id]
+    return (starts[run_id] + offsets)[:n]
+
+
+def csr_pattern(
+    rng: np.random.Generator,
+    base: int,
+    n_nodes: int,
+    avg_degree: int,
+    n: int,
+    elem_bytes: int = 8,
+) -> np.ndarray:
+    """CSR edge-array traversal in a shuffled node order.
+
+    A compressed-sparse-row graph is fixed once: node degrees are drawn
+    geometrically (mean ``avg_degree``) and row pointers are their prefix
+    sums.  Nodes are then visited in a random permutation, each visit
+    scanning its edge run sequentially — short sequential runs (the
+    degree) at irregular row offsets, the signature shape of sparse
+    matvec and adjacency sweeps.  Stride prefetchers train on the runs
+    but overshoot every row boundary.
+    """
+    _check_count(n)
+    if n_nodes <= 0 or avg_degree <= 0:
+        raise TraceError("n_nodes and avg_degree must be positive")
+    if elem_bytes <= 0:
+        raise TraceError("elem_bytes must be positive")
+    degrees = rng.geometric(1.0 / avg_degree, size=n_nodes).astype(np.int64)
+    row_ptr = np.concatenate(([0], np.cumsum(degrees)))
+    order = rng.permutation(n_nodes).astype(np.int64)
+    pos = _expand_runs(row_ptr[order], degrees[order], n)
+    return base + pos * elem_bytes
+
+
+def bfs_frontier_pattern(
+    rng: np.random.Generator,
+    base: int,
+    n_nodes: int,
+    avg_degree: int,
+    n: int,
+    node_bytes: int = 64,
+) -> np.ndarray:
+    """Node-data addresses in breadth-first visitation order.
+
+    A random directed graph (``avg_degree`` out-edges per node) is fixed
+    once; a BFS from node 0 — restarting at the lowest unvisited node for
+    disconnected components — yields the frontier-expansion visit order,
+    which is then followed (wrapping) for ``n`` accesses.  Early levels
+    visit hub-adjacent nodes in near-random order, so the stream has no
+    dominant stride yet strong graph-structured reuse.
+    """
+    _check_count(n)
+    if n_nodes <= 0 or avg_degree <= 0:
+        raise TraceError("n_nodes and avg_degree must be positive")
+    if node_bytes <= 0:
+        raise TraceError("node_bytes must be positive")
+    nbrs = rng.integers(0, n_nodes, size=(n_nodes, avg_degree), dtype=np.int64)
+    visited = np.zeros(n_nodes, dtype=bool)
+    order = np.empty(n_nodes, dtype=np.int64)
+    out = 0
+    next_root = 0
+    queue: deque[int] = deque()
+    while out < n_nodes:
+        while next_root < n_nodes and visited[next_root]:
+            next_root += 1
+        visited[next_root] = True
+        queue.append(next_root)
+        while queue:
+            u = queue.popleft()
+            order[out] = u
+            out += 1
+            for v in nbrs[u]:
+                if not visited[v]:
+                    visited[v] = True
+                    queue.append(int(v))
+    idx = order[np.arange(n, dtype=np.int64) % n_nodes]
+    return base + idx * node_bytes
+
+
+def hash_probe_pattern(
+    rng: np.random.Generator,
+    base: int,
+    n_buckets: int,
+    n: int,
+    avg_probe: int = 2,
+    bucket_bytes: int = 64,
+) -> np.ndarray:
+    """Open-addressing hash probes: random bucket, short linear run.
+
+    Each probe hashes to a uniform bucket and walks ``~avg_probe``
+    consecutive buckets (geometric run lengths, wrapping modulo the
+    table) — the hash-join / hash-aggregation access shape: random at
+    table granularity, sequential within a probe.
+    """
+    _check_count(n)
+    if n_buckets <= 0 or avg_probe <= 0:
+        raise TraceError("n_buckets and avg_probe must be positive")
+    if bucket_bytes <= 0:
+        raise TraceError("bucket_bytes must be positive")
+    n_probes = max(1, -(-n // avg_probe))
+    starts = rng.integers(0, n_buckets, size=n_probes, dtype=np.int64)
+    lengths = rng.geometric(1.0 / avg_probe, size=n_probes).astype(np.int64)
+    pos = _expand_runs(starts, lengths, n) % n_buckets
+    return base + pos * bucket_bytes
+
+
+def index_array_values(
+    index_seed: int, n_indices: int, n_slots: int
+) -> np.ndarray:
+    """The contents of a seeded ``B`` index array for ``A[B[i]]``.
+
+    The index array is program *input data*: it is a pure function of
+    ``index_seed``, independent of any execution seed, so every consumer
+    — the interpreter generating the demand stream, and a hardware
+    observer modelling reads of filled ``B`` lines — reconstructs the
+    identical values.
+    """
+    if n_indices <= 0:
+        raise TraceError("n_indices must be positive")
+    if n_slots <= 0:
+        raise TraceError("n_slots must be positive")
+    rng = np.random.default_rng(np.random.SeedSequence(index_seed))
+    return rng.integers(0, n_slots, size=n_indices, dtype=np.int64)
+
+
+def indexed_pattern(
+    base: int,
+    n: int,
+    values: np.ndarray,
+    elem_bytes: int = 8,
+) -> np.ndarray:
+    """Gather addresses ``base + values[i mod len] * elem_bytes``.
+
+    The data-dependent half of the ``A[B[i]]`` pair; ``values`` comes
+    from :func:`index_array_values` and is cycled when the trip count
+    exceeds the index array length.
+    """
+    _check_count(n)
+    if len(values) == 0:
+        raise TraceError("values must be non-empty")
+    if elem_bytes <= 0:
+        raise TraceError("elem_bytes must be positive")
+    idx = np.asarray(values, dtype=np.int64)[np.arange(n, dtype=np.int64) % len(values)]
+    return base + idx * elem_bytes

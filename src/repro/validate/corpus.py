@@ -25,9 +25,14 @@ from repro.isa.interpreter import execute_program
 from repro.isa.program import Program
 from repro.trace.events import MemOp, MemoryTrace, TraceBuilder
 from repro.trace.synthesis import (
+    bfs_frontier_pattern,
     burst_strided_pattern,
     chase_pattern,
+    csr_pattern,
     gather_pattern,
+    hash_probe_pattern,
+    index_array_values,
+    indexed_pattern,
     random_pattern,
     strided_pattern,
     stream_pattern,
@@ -100,6 +105,21 @@ CLASS_BOUNDS: dict[str, ClassBounds] = {
     "burst": ClassBounds(linf=0.02, l1=0.01, pc=0.03),
     "mixed": ClassBounds(linf=0.45, l1=0.15, pc=1.0, cliff=True),
     "workload": ClassBounds(linf=0.03, l1=0.01, pc=0.03),
+    # Irregular graph-analytics classes, calibrated like the rest at
+    # roughly 1.5-2x the worst error measured over the seed-0 corpus
+    # (quick and full sizes, rate 1.0); tests/test_validate_calibration.py
+    # pins both directions — bounds may neither be exceeded nor drift
+    # past 2x the recorded calibration.  CSR edge scans are short
+    # sequential runs over a permuted row order (statistical but tame);
+    # BFS visitation orders repeat cyclically (step curve → cliff);
+    # hash probes have a heavier reuse tail; the indirect interleave
+    # inherits its cyclic index walk's step curve (cliff) while the
+    # gather half smooths, which is where its large L-inf lives.
+    "csr": ClassBounds(linf=0.065, l1=0.01, pc=0.01),
+    "bfs": ClassBounds(linf=0.02, l1=0.01, pc=0.01, cliff=True),
+    "hash": ClassBounds(linf=0.10, l1=0.018, pc=0.01),
+    "indirect": ClassBounds(linf=0.45, l1=0.085, pc=0.01, cliff=True),
+    "graph": ClassBounds(linf=0.02, l1=0.01, pc=0.02),
 }
 
 
@@ -321,5 +341,62 @@ def build_corpus(seed: int = 0, quick: bool = True) -> list[CorpusTrace]:
         program = generate_workload(recipe, seed=seed + counter, name=name)
         execution = execute_program(program, seed=seed + counter)
         add(name, "workload", execution.trace, program=program)
+
+    # -- graph-analytics irregulars (the paper's uncovered frontier) ---
+    add("csr-4k-deg8", "csr", _single_pc(90, csr_pattern(rng(), 0, 4096, 8, n)))
+    add(
+        "csr-512-deg32",
+        "csr",
+        _single_pc(91, csr_pattern(rng(), 1 << 24, 512, 32, n)),
+    )
+    add(
+        "bfs-2k-deg4",
+        "bfs",
+        _single_pc(92, bfs_frontier_pattern(rng(), 0, 2048, 4, n)),
+    )
+    add(
+        "bfs-1k-deg8",
+        "bfs",
+        _single_pc(93, bfs_frontier_pattern(rng(), 1 << 24, 1024, 8, n)),
+    )
+    add("hash-1k", "hash", _single_pc(94, hash_probe_pattern(rng(), 0, 1024, n)))
+    add(
+        "hash-8k-probe4",
+        "hash",
+        _single_pc(95, hash_probe_pattern(rng(), 1 << 24, 8192, n, avg_probe=4)),
+    )
+
+    # -- index-array indirection: B[i] walk interleaved with A[B[i]] ---
+    for pc_pair, base, n_idx, n_slots in ((96, 0, 2048, 4096), (98, 1 << 26, 512, 16384)):
+        index_seed = int(rng().integers(0, 2**31 - 1))
+        vals = index_array_values(index_seed, n_idx, n_slots)
+        half = n // 2
+        add(
+            f"indirect-{n_idx}x{n_slots}",
+            "indirect",
+            _interleave(
+                [
+                    (pc_pair, strided_pattern(base, half, 8, wrap_bytes=n_idx * 8)),
+                    (pc_pair + 1, indexed_pattern(base + (1 << 22), half, vals, elem_bytes=64)),
+                ]
+            ),
+        )
+
+    # -- graph workloads (program-bearing: drive the indirect rewrite
+    #    and the cross-core prefetcher through the full pipeline) ------
+    graph_recipes = [
+        ("graph-csr-indirect", WorkloadRecipe(
+            stream_weight=0.2, csr_weight=0.4, indirect_weight=0.4,
+            footprint_bytes=512 * KB, n_instructions=5, trips=trips,
+        )),
+        ("graph-bfs-hash", WorkloadRecipe(
+            stream_weight=0.2, bfs_weight=0.4, hash_weight=0.4,
+            footprint_bytes=512 * KB, n_instructions=5, trips=trips,
+        )),
+    ]
+    for name, recipe in graph_recipes:
+        program = generate_workload(recipe, seed=seed + counter, name=name)
+        execution = execute_program(program, seed=seed + counter)
+        add(name, "graph", execution.trace, program=program)
 
     return entries

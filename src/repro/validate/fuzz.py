@@ -1,6 +1,6 @@
 """Seeded fuzz driver with greedy shrinking and fixture persistence.
 
-Three fuzz targets cover the surfaces where malformed or unusual inputs
+The fuzz targets cover the surfaces where malformed or unusual inputs
 historically break tools like this one:
 
 * ``trace-codec`` — random event arrays through the JSON trace codec
@@ -12,6 +12,13 @@ historically break tools like this one:
 * ``rewriter`` — a random generated workload, rewritten with a random
   prefetch plan, re-executed: the demand stream must be bit-identical
   and trace-level insertion must agree with IR-level insertion.
+* ``indirect-rewrite`` — the same law for the indirect rewrite
+  (``prefetch B[i+d]; prefetch A[B[i+d]]``) over workloads guaranteed
+  to carry ``A[B[i]]`` pairs, with random run-ahead depths.
+* ``graph-workload`` — the graph-family generators (CSR, BFS frontier,
+  hash probe, index indirection): generation and execution must be
+  deterministic, addresses in-window, and indexed accesses confined to
+  their declared data region.
 
 Every case is a *JSON-able dict*, derived deterministically from
 ``(seed, target, case index)``.  When a case fails, a greedy shrinker
@@ -258,6 +265,145 @@ def _shrink_rewriter(case: dict):
             yield shrunk
 
 
+# ----------------------------------------------------------------------
+# target: indirect-rewrite
+# ----------------------------------------------------------------------
+
+
+def _gen_indirect_rewrite(rng: np.random.Generator) -> dict:
+    """A workload guaranteed to carry A[B[i]] pairs, plus indirect plans."""
+    n_pairs = int(rng.integers(1, 3))
+    return {
+        "recipe": {
+            "stream_weight": float(rng.uniform(0.1, 0.5)),
+            "indirect_weight": float(rng.uniform(0.3, 0.9)),
+            "csr_weight": float(rng.choice([0.0, 0.3])),
+            "footprint_bytes": int(rng.integers(1, 17)) * 64 * 1024,
+            "n_instructions": 2 * n_pairs + 1,
+            "trips": int(rng.integers(50, 800)),
+        },
+        "program_seed": int(rng.integers(0, 1 << 31)),
+        "exec_seed": int(rng.integers(0, 1 << 31)),
+        "ahead": int(rng.integers(1, 64)),
+        "distance": int(rng.integers(1, 64)) * 64,
+        "nta": bool(rng.integers(0, 2)),
+    }
+
+
+def _indirect_decisions(case: dict, program) -> list[PrefetchDecision]:
+    return [
+        PrefetchDecision(
+            pc=data_pc,
+            stride=stride,
+            distance_bytes=int(case["distance"]),
+            nta=bool(case["nta"]),
+            indirect_ahead=int(case["ahead"]),
+            index_pc=index_pc,
+        )
+        for data_pc, (index_pc, stride) in sorted(program.indirect_pairs().items())
+    ]
+
+
+def _check_indirect_rewrite(case: dict) -> None:
+    recipe = WorkloadRecipe(**case["recipe"])
+    program = generate_workload(recipe, seed=case["program_seed"], name="fuzz")
+    decisions = _indirect_decisions(case, program)
+    if not decisions:
+        raise AssertionError("indirect recipe produced no A[B[i]] pairs")
+    execution = interpreter.execute_program(program, seed=case["exec_seed"])
+    original_demand = execution.trace.demand_only()
+
+    rewritten = rewriter.insert_prefetches(program, decisions)
+    re_exec = interpreter.execute_program(rewritten, seed=case["exec_seed"])
+    if re_exec.trace.demand_only() != original_demand:
+        raise AssertionError("indirect rewriting changed the demand stream")
+
+    trace_level = apply_prefetch_plan(execution.trace, decisions)
+    if trace_level.demand_only() != original_demand:
+        raise AssertionError("trace-level indirect insertion changed the demand stream")
+    if trace_level != re_exec.trace:
+        raise AssertionError("IR-level and trace-level indirect insertion disagree")
+
+
+def _shrink_indirect_rewrite(case: dict):
+    trips = case["recipe"]["trips"]
+    if trips > 1:
+        shrunk = json.loads(json.dumps(case))
+        shrunk["recipe"]["trips"] = max(1, trips // 2)
+        yield shrunk
+    if case["ahead"] > 1:
+        shrunk = json.loads(json.dumps(case))
+        shrunk["ahead"] = case["ahead"] // 2
+        yield shrunk
+
+
+# ----------------------------------------------------------------------
+# target: graph-workload
+# ----------------------------------------------------------------------
+
+
+def _gen_graph_workload(rng: np.random.Generator) -> dict:
+    weights = rng.dirichlet(np.ones(4)).round(3).tolist()
+    return {
+        "recipe": {
+            "csr_weight": weights[0],
+            "bfs_weight": weights[1],
+            "hash_weight": weights[2],
+            "indirect_weight": weights[3],
+            "stream_weight": 0.0 if sum(weights) > 0 else 1.0,
+            "footprint_bytes": int(rng.integers(1, 17)) * 64 * 1024,
+            "n_instructions": int(rng.integers(2, 7)),
+            "trips": int(rng.integers(50, 600)),
+            "avg_degree": int(rng.integers(2, 33)),
+        },
+        "program_seed": int(rng.integers(0, 1 << 31)),
+        "exec_seed": int(rng.integers(0, 1 << 31)),
+    }
+
+
+def _check_graph_workload(case: dict) -> None:
+    """Graph generators must be deterministic, in-window, and executable."""
+    recipe = WorkloadRecipe(**case["recipe"])
+    a = generate_workload(recipe, seed=case["program_seed"], name="fuzz")
+    b = generate_workload(recipe, seed=case["program_seed"], name="fuzz")
+    if a != b:
+        raise AssertionError("graph workload generation is not deterministic")
+    exec_a = interpreter.execute_program(a, seed=case["exec_seed"])
+    exec_b = interpreter.execute_program(a, seed=case["exec_seed"])
+    if exec_a.trace != exec_b.trace:
+        raise AssertionError("graph workload execution is not deterministic")
+    if len(exec_a.trace) != a.n_dynamic_refs:
+        raise AssertionError("trace length disagrees with the program's ref count")
+    if (exec_a.trace.addr < 0).any():
+        raise AssertionError("graph workload generated negative addresses")
+    # Every A[B[i]] data access must stay inside its declared region.
+    mapping = a.pc_map()
+    for kernel in a.kernels:
+        for instr in kernel.mem_instructions:
+            pat = getattr(instr, "pattern", None)
+            if pat is None or not hasattr(pat, "index_seed"):
+                continue
+            pc = mapping[(kernel.name, instr.label)]
+            addrs = exec_a.trace.addr[exec_a.trace.pc == pc]
+            if len(addrs) and (
+                (addrs < pat.base) | (addrs >= pat.base + pat.region_bytes)
+            ).any():
+                raise AssertionError("indexed access escaped its data region")
+
+
+def _shrink_graph_workload(case: dict):
+    trips = case["recipe"]["trips"]
+    if trips > 1:
+        shrunk = json.loads(json.dumps(case))
+        shrunk["recipe"]["trips"] = max(1, trips // 2)
+        yield shrunk
+    n = case["recipe"]["n_instructions"]
+    if n > 1:
+        shrunk = json.loads(json.dumps(case))
+        shrunk["recipe"]["n_instructions"] = n - 1
+        yield shrunk
+
+
 #: name → (generate, check, shrink) for every fuzz target.
 TARGETS = {
     "trace-codec": (_gen_trace_codec, _check_trace_codec, _shrink_trace_codec),
@@ -267,6 +413,16 @@ TARGETS = {
         _shrink_sampling_codec,
     ),
     "rewriter": (_gen_rewriter, _check_rewriter, _shrink_rewriter),
+    "indirect-rewrite": (
+        _gen_indirect_rewrite,
+        _check_indirect_rewrite,
+        _shrink_indirect_rewrite,
+    ),
+    "graph-workload": (
+        _gen_graph_workload,
+        _check_graph_workload,
+        _shrink_graph_workload,
+    ),
 }
 
 

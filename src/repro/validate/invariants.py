@@ -19,6 +19,10 @@ properties with mathematical provenance, not golden numbers:
 * ``coverage-accounting`` — per-PC miss/access counters sum exactly to
   the simulator's totals, before and after optimisation (Table I's
   coverage arithmetic is only meaningful if this holds).
+* ``xcore-llc-fill-attribution`` — the cross-core helper prefetcher's
+  fills are LLC-only (never the private L2) and every fill resolves to
+  a line actually reachable as ``A[B[pos]]`` — a broken index resolver
+  cannot hide behind plausible-looking traffic.
 
 All checks are reusable predicates: the self-test arms a corruption and
 re-runs them to prove they have teeth.
@@ -166,6 +170,24 @@ def _check_rewrite_semantics(
     ]
     if report.decisions:
         plans.append(("optimizer", list(report.decisions)))
+    # The indirect rewrite (prefetch B[i+d]; prefetch A[B[i+d]]) must
+    # obey the same law; analyse again with it enabled when the program
+    # carries a resolvable A[B[i]] pair.
+    indirect_pairs = program.indirect_pairs()
+    if indirect_pairs:
+        indirect_report = PrefetchOptimizer(
+            machine,
+            OptimizerSettings(
+                flatness_tolerance=settings.flatness_tolerance,
+                enable_indirect=True,
+            ),
+        ).analyze(
+            sampling,
+            refs_per_pc=program.refs_per_pc(),
+            indirect_pairs=indirect_pairs,
+        )
+        if indirect_report.decisions:
+            plans.append(("indirect", list(indirect_report.decisions)))
 
     for label, decisions in plans:
         rewritten = rewriter.insert_prefetches(program, decisions)
@@ -176,7 +198,11 @@ def _check_rewrite_semantics(
                 f"{label} plan: IR rewriting changed the demand stream",
             )
         inserted = re_exec.trace.select(re_exec.trace.prefetch_mask)
-        allowed = {d.pc for d in decisions}
+        # An indirect decision inserts at the data load's PC *and* a
+        # run-ahead prefetch at its index load's PC.
+        allowed = {d.pc for d in decisions} | {
+            d.index_pc for d in decisions if d.index_pc is not None
+        }
         if len(inserted) and not set(inserted.unique_pcs().tolist()) <= allowed:
             return InvariantResult(
                 name, entry.name, False,
@@ -280,6 +306,57 @@ def _check_coverage_accounting(
     return InvariantResult(name, entry.name, True)
 
 
+def _check_xcore_attribution(entry: CorpusTrace) -> InvariantResult:
+    """Cross-core LLC fills must be LLC-only and resolver-correct.
+
+    Every request the helper prefetcher issues while observing the
+    program's demand stream must (a) skip the private L2
+    (``fill_l2=False`` — the whole point of a cross-core fill) and
+    (b) target a line of the *data* region reachable as ``A[B[pos]]``
+    for some index position — a broken resolver (the self-test's
+    mutation) lands fills outside that set.
+    """
+    from repro.hwpref.xcore import cross_core_prefetcher_for, index_directory_for
+
+    name = "xcore-llc-fill-attribution"
+    program = entry.program
+    assert program is not None
+    directory = index_directory_for(program)
+    if not directory:
+        return InvariantResult(name, entry.name, True, "no A[B[i]] pairs")
+    execution = interpreter.execute_program(program, seed=entry.seed)
+    demand = execution.trace.demand_only()
+    prefetcher = cross_core_prefetcher_for(program)
+    ev, lines, fill_l2 = prefetcher.observe_batch(
+        demand.pc,
+        demand.addr,
+        demand.line_addr(LINE_BYTES),
+        np.zeros(len(demand), dtype=bool),
+    )
+    if len(ev) == 0:
+        return InvariantResult(
+            name, entry.name, False,
+            "pairs registered but no cross-core fills issued",
+        )
+    if fill_l2.any():
+        return InvariantResult(
+            name, entry.name, False,
+            f"{int(fill_l2.sum())} cross-core fills target the private L2",
+        )
+    reachable = set()
+    for region in directory.values():
+        vals = region.index_values()
+        addrs = region.data_base + vals * region.data_elem_bytes
+        reachable.update(np.unique(addrs // LINE_BYTES).tolist())
+    stray = set(np.unique(lines).tolist()) - reachable
+    if stray:
+        return InvariantResult(
+            name, entry.name, False,
+            f"{len(stray)} prefetched lines are not reachable as A[B[pos]]",
+        )
+    return InvariantResult(name, entry.name, True)
+
+
 def run_invariants(
     corpus: list[CorpusTrace], settings: InvariantSettings | None = None
 ) -> list[InvariantResult]:
@@ -294,6 +371,7 @@ def run_invariants(
             if entry.program is not None:
                 results.append(_check_rewrite_semantics(entry, settings))
                 results.append(_check_bypass_consistent(entry, settings))
+                results.append(_check_xcore_attribution(entry))
         if obs.enabled():
             obs.metrics().counter("validate.invariant.checks").inc(len(results))
             failed = sum(1 for r in results if not r.ok)

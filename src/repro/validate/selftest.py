@@ -16,6 +16,12 @@ one deliberate corruption per engine — in the style of
 * ``codec-corruption`` → **fuzz** engine: a ``"raise"`` fault armed at
   the real ``serialization.decode`` site must surface as failing
   sampling-codec fuzz cases.
+* ``xcore-unresolved`` → **invariant** engine: the cross-core LLC
+  prefetcher's index resolution is broken to return the raw index-walk
+  lines instead of ``A[B[i+d]]`` — traffic that still *looks* like
+  prefetching but fills the wrong region.  The
+  ``xcore-llc-fill-attribution`` invariant must flag every graph
+  program in the corpus.
 
 The mutations are applied via scoped monkey-patches (restored in
 ``finally``), so a self-test run leaves the process clean.
@@ -121,6 +127,43 @@ def _mutate_eviction(corpus: list[CorpusTrace]) -> SelfTestOutcome:
     )
 
 
+def _mutate_xcore(seed: int) -> SelfTestOutcome:
+    from repro.hwpref.xcore import CrossCoreLLCPrefetcher
+
+    corpus = [e for e in build_corpus(seed=seed, quick=True) if e.cls == "graph"]
+    original = CrossCoreLLCPrefetcher._resolve
+
+    def unresolved(self, region, positions):
+        # Drop the B[i+d] resolution: prefetch the index walk itself
+        # instead of the data it points at.
+        addrs = region.index_base + (positions % region.n_indices) * region.index_elem_bytes
+        return addrs // self.line_bytes
+
+    CrossCoreLLCPrefetcher._resolve = unresolved  # type: ignore[method-assign]
+    try:
+        results = run_invariants(corpus)
+    finally:
+        CrossCoreLLCPrefetcher._resolve = original  # type: ignore[method-assign]
+    flagged = [
+        r
+        for r in results
+        if r.invariant == "xcore-llc-fill-attribution" and not r.ok
+    ]
+    # Only entries with resolvable pairs exercise the resolver.
+    total = sum(
+        1
+        for r in results
+        if r.invariant == "xcore-llc-fill-attribution"
+        and r.detail != "no A[B[i]] pairs"
+    )
+    return SelfTestOutcome(
+        mutation="xcore-unresolved",
+        engine="invariants",
+        detected=total > 0 and len(flagged) == total,
+        detail=f"{len(flagged)}/{total} graph programs flagged the broken resolver",
+    )
+
+
 def _mutate_codec(seed: int) -> SelfTestOutcome:
     faults.arm("serialization.decode", "raise")
     try:
@@ -146,6 +189,7 @@ def run_selftest(seed: int = 0) -> list[SelfTestOutcome]:
             _mutate_model(corpus),
             _mutate_eviction(corpus),
             _mutate_codec(seed),
+            _mutate_xcore(seed),
         ]
         if obs.enabled():
             missed = sum(1 for o in outcomes if not o.detected)

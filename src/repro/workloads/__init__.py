@@ -25,6 +25,7 @@ from repro.workloads.parallel import (
     get_parallel_workload,
     list_parallel_workloads,
 )
+from repro.workloads.graph import GRAPH_BENCHMARKS
 from repro.workloads.spec2006 import ALL_SINGLE_CORE, OTHER_BENCHMARKS, SPEC_BENCHMARKS
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "ALL_SINGLE_CORE",
     "SPEC_BENCHMARKS",
     "OTHER_BENCHMARKS",
+    "GRAPH_BENCHMARKS",
     "Mix",
     "generate_mixes",
     "fig8_mix",

@@ -16,9 +16,13 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.isa.instructions import (
+    BFSAccess,
     BurstAccess,
     ChaseAccess,
+    CSRAccess,
     GatherAccess,
+    HashProbeAccess,
+    IndexedAccess,
     Load,
     Store,
     StridedAccess,
@@ -40,6 +44,12 @@ class WorkloadRecipe:
 
     Weights need not sum to one; they are normalised.  Each non-zero
     component contributes at least one instruction.
+
+    The graph family (``csr``/``bfs``/``hash``/``indirect`` weights)
+    adds graph-analytics shapes.  An ``indirect`` slot emits the two
+    instructions of an ``A[B[i]]`` pair — the strided index walk *and*
+    the data gather — so the generated body holds one extra instruction
+    per indirect slot beyond ``n_instructions``.
     """
 
     stream_weight: float = 1.0
@@ -47,12 +57,17 @@ class WorkloadRecipe:
     gather_weight: float = 0.0
     burst_weight: float = 0.0
     store_weight: float = 0.0
+    csr_weight: float = 0.0
+    bfs_weight: float = 0.0
+    hash_weight: float = 0.0
+    indirect_weight: float = 0.0
     footprint_bytes: int = 16 * MB
     n_instructions: int = 6
     trips: int = 50_000
     stride_bytes: int = 16
     gather_locality: float = 0.5
     burst_len: int = 8
+    avg_degree: int = 8
     work_per_memop: float = 5.0
     mlp: float = 4.0
 
@@ -63,6 +78,10 @@ class WorkloadRecipe:
             self.gather_weight,
             self.burst_weight,
             self.store_weight,
+            self.csr_weight,
+            self.bfs_weight,
+            self.hash_weight,
+            self.indirect_weight,
         )
         if any(w < 0 for w in weights):
             raise WorkloadError("mixture weights must be non-negative")
@@ -80,6 +99,8 @@ class WorkloadRecipe:
             raise WorkloadError("gather_locality must be in [0, 1)")
         if self.burst_len <= 0:
             raise WorkloadError("burst_len must be positive")
+        if self.avg_degree <= 0:
+            raise WorkloadError("avg_degree must be positive")
 
 
 def _allocate(weights: dict[str, float], slots: int) -> dict[str, int]:
@@ -118,6 +139,10 @@ def generate_workload(
             "gather": recipe.gather_weight,
             "burst": recipe.burst_weight,
             "store": recipe.store_weight,
+            "csr": recipe.csr_weight,
+            "bfs": recipe.bfs_weight,
+            "hash": recipe.hash_weight,
+            "indirect": recipe.indirect_weight,
         },
         recipe.n_instructions,
     )
@@ -155,6 +180,31 @@ def generate_workload(
     for i in range(counts.get("store", 0)):
         body.append(
             Store(f"store{i}", StridedAccess(arr(), recipe.stride_bytes, wrap_bytes=region))
+        )
+    # Graph components append after the legacy ones and draw from the
+    # rng only when present, so recipes without graph weights generate
+    # bit-identical programs to earlier releases.
+    for i in range(counts.get("csr", 0)):
+        nodes = max(64, region // (recipe.avg_degree * 8))
+        body.append(Load(f"csr{i}", CSRAccess(arr(), nodes, recipe.avg_degree, 8)))
+    for i in range(counts.get("bfs", 0)):
+        nodes = max(64, min(region // 64, 8192))
+        body.append(Load(f"bfs{i}", BFSAccess(arr(), nodes, max(2, recipe.avg_degree // 2), 64)))
+    for i in range(counts.get("hash", 0)):
+        buckets = max(64, region // 64)
+        body.append(Load(f"hash{i}", HashProbeAccess(arr(), buckets, 2, 64)))
+    for i in range(counts.get("indirect", 0)):
+        idx_base = arr()
+        n_indices = max(64, region // 16)
+        index_seed = int(rng.integers(0, 2**31 - 1))
+        body.append(
+            Load(f"bidx{i}", StridedAccess(idx_base, 8, wrap_bytes=n_indices * 8))
+        )
+        body.append(
+            Load(
+                f"aval{i}",
+                IndexedAccess(arr(), region, idx_base, n_indices, index_seed),
+            )
         )
 
     # deterministic shuffle so component ordering is not systematic

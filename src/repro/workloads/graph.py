@@ -1,0 +1,149 @@
+"""Graph-analytics benchmark models (the irregular frontier).
+
+The paper concedes that pointer-chasing workloads get single-digit
+prefetch coverage; these models reproduce the *graph-analytics* shapes
+behind that concession as first-class benchmarks: CSR edge traversal,
+breadth-first frontier expansion, hash probing, and index-array
+indirection ``A[B[i]]``.  They are the evaluation targets for the
+cross-core LLC prefetcher (:mod:`repro.hwpref.xcore`) and MDDLI's
+indirect-prefetch rewrite — both of which need the ``A[B[i]]`` pairs
+these bodies carry.
+
+Address windows sit in the ``(21..23) << 31`` range: above the SPEC
+models' 2 GiB windows, below the parallel suite's base — mixes never
+alias.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    BFSAccess,
+    CSRAccess,
+    GatherAccess,
+    HashProbeAccess,
+    IndexedAccess,
+    Load,
+    RandomAccess,
+    Store,
+    StridedAccess,
+)
+from repro.isa.program import Kernel, Program
+from repro.workloads.base import WorkloadSpec, register_workload
+
+__all__ = ["GRAPH_BENCHMARKS"]
+
+MB = 1024 * 1024
+KB = 1024
+
+
+def _gbase(slot: int) -> int:
+    return (21 + slot) << 31
+
+
+def _arr(base: int, k: int) -> int:
+    # Same 128 MiB + odd-offset stagger as the SPEC models, so
+    # concurrently swept arrays never land in lockstep cache sets.
+    return base + k * (128 * MB + 20_544)
+
+
+def _hot(base: int, k: int, label: str) -> Load:
+    return Load(label, GatherAccess(_arr(base, 8 + k), 16 * KB, locality=0.0))
+
+
+def _trips(n: int, scale: float) -> int:
+    return max(16, int(n * scale))
+
+
+def _pagerank(input_set: str, scale: float) -> Program:
+    """Push-style PageRank sweep: CSR edges + rank gather ``rank[col[e]]``.
+
+    The edge-array scan is short sequential runs (covered by stream
+    prefetchers); the rank gather is pure index indirection — the miss
+    bucket that stays uncovered without an indirect prefetcher.  The
+    ``col``/``rank`` pair is a structural ``A[B[i]]``: the cross-core
+    prefetcher and MDDLI's indirect rewrite both key on it.
+    """
+    edges = {"ref": 12 * MB, "train": 4 * MB, "alt": 20 * MB}[input_set]
+    rank = {"ref": 4 * MB, "train": 2 * MB, "alt": 6 * MB}[input_set]
+    seed = {"ref": 1101, "train": 1102, "alt": 1103}[input_set]
+    b = _gbase(0)
+    n_edges = edges // 8
+    col_base = _arr(b, 1)
+    body = (
+        Load("rowptr", StridedAccess(_arr(b, 0), 8, wrap_bytes=edges // 8)),
+        Load("edges", CSRAccess(_arr(b, 2), max(64, edges // 64), 8, 8)),
+        Load("col", StridedAccess(col_base, 8, wrap_bytes=n_edges * 8)),
+        Load("rank", IndexedAccess(_arr(b, 3), rank, col_base, n_edges, seed)),
+        Store("newrank", StridedAccess(_arr(b, 4), 8, wrap_bytes=rank)),
+        _hot(b, 0, "hot0"),
+    )
+    return Program(
+        "pagerank",
+        (Kernel("push", body, _trips(90_000, scale), work_per_memop=4.0, mlp=4.0),),
+    )
+
+
+def _bfs(input_set: str, scale: float) -> Program:
+    """Level-synchronous BFS: frontier queue + visitation-order node data.
+
+    The frontier queue streams; the node-data visits follow the graph's
+    breadth-first order — irregular at stride level but with strong
+    structural reuse — and the visited bitmap is random within a small
+    region.  No dominant stride anywhere that matters: the paper's
+    single-digit-coverage regime.
+    """
+    nodes = {"ref": 8192, "train": 2048, "alt": 8192}[input_set]
+    dist = {"ref": 8 * MB, "train": 3 * MB, "alt": 12 * MB}[input_set]
+    b = _gbase(1)
+    body = (
+        Load("frontier", StridedAccess(_arr(b, 0), 8, wrap_bytes=nodes * 8)),
+        Load("visit", BFSAccess(_arr(b, 1), nodes, 4, 64)),
+        Load("visited", RandomAccess(_arr(b, 2), 2 * MB, align=8)),
+        Store("dist", StridedAccess(_arr(b, 3), 8, wrap_bytes=dist)),
+        _hot(b, 0, "hot0"),
+    )
+    return Program(
+        "bfs",
+        (Kernel("level", body, _trips(80_000, scale), work_per_memop=6.0, mlp=2.0),),
+    )
+
+
+def _hashjoin(input_set: str, scale: float) -> Program:
+    """Hash join probe phase: bucket probes + payload indirection.
+
+    The probe side streams keys, hashes into a bucket table (random
+    start, short linear-probe run), then fetches the matched payload
+    through an index array — a second ``A[B[i]]`` pair with a *larger*
+    data region than pagerank's rank array.
+    """
+    table = {"ref": 8 * MB, "train": 3 * MB, "alt": 12 * MB}[input_set]
+    payload = {"ref": 12 * MB, "train": 4 * MB, "alt": 16 * MB}[input_set]
+    seed = {"ref": 3301, "train": 3302, "alt": 3303}[input_set]
+    b = _gbase(2)
+    n_keys = table // 16
+    keyidx_base = _arr(b, 2)
+    body = (
+        Load("keys", StridedAccess(_arr(b, 0), 16, wrap_bytes=table)),
+        Load("bucket", HashProbeAccess(_arr(b, 1), max(64, table // 64), 2, 64)),
+        Load("keyidx", StridedAccess(keyidx_base, 8, wrap_bytes=n_keys * 8)),
+        Load("payload", IndexedAccess(_arr(b, 3), payload, keyidx_base, n_keys, seed)),
+        Store("out", StridedAccess(_arr(b, 4), 16, wrap_bytes=table)),
+        _hot(b, 0, "hot0"),
+    )
+    return Program(
+        "hashjoin",
+        (Kernel("probe", body, _trips(80_000, scale), work_per_memop=5.0, mlp=3.0),),
+    )
+
+
+GRAPH_BENCHMARKS = (
+    WorkloadSpec("pagerank", _pagerank, "PageRank: CSR edges + rank[col[e]] gather",
+                 suite="graph"),
+    WorkloadSpec("bfs", _bfs, "BFS: frontier queue + visitation-order node data",
+                 suite="graph"),
+    WorkloadSpec("hashjoin", _hashjoin, "hash join probe: buckets + payload[idx[k]]",
+                 suite="graph"),
+)
+
+for _spec in GRAPH_BENCHMARKS:
+    register_workload(_spec)

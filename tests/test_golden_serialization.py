@@ -33,6 +33,8 @@ GOLDEN = Path(__file__).parent / "fixtures" / "golden"
 
 CODECS = {
     "plan": (plan_from_dict, plan_to_dict),
+    # Same codec, indirect-decision fields present (irregular frontier).
+    "plan_indirect": (plan_from_dict, plan_to_dict),
     "stats": (stats_from_dict, stats_to_dict),
     "sampling": (sampling_from_dict, sampling_to_dict),
     "advisor_request": (advisor_request_from_dict, advisor_request_to_dict),
@@ -70,6 +72,7 @@ def test_golden_fixtures_declare_formats():
     }
     assert formats == {
         "plan": "repro-plan-v1",
+        "plan_indirect": "repro-plan-v1",
         "stats": "repro-stats-v1",
         "sampling": "repro-sampling-v1",
         "advisor_request": "repro-advisor-request-v1",

@@ -6,6 +6,7 @@ from repro.hwpref import (
     AdjacentLinePrefetcher,
     NullPrefetcher,
     PCStridePrefetcher,
+    PrefetchTuning,
     StreamerPrefetcher,
     amd_hw_prefetcher,
     intel_hw_prefetcher,
@@ -158,6 +159,36 @@ class TestThrottling:
         rho["value"] = 1.0
         stressed = len(feed_stream(pf, n=20))
         assert stressed < calm
+
+    def test_disabled_tuning_silences_confident_stream(self):
+        # factor == 0 must gate issue even after confidence is built up.
+        pf = StreamerPrefetcher()
+        assert feed_stream(pf, n=10)
+        pf.apply_tuning(PrefetchTuning(enabled=False))
+        assert feed_stream(pf, start_line=1 << 14, n=10) == []
+
+    def test_degree_scale_narrows_window(self):
+        full = StreamerPrefetcher(max_degree=8)
+        scaled = StreamerPrefetcher(max_degree=8)
+        scaled.apply_tuning(PrefetchTuning(degree_scale=0.25))
+        n_full = len(feed_stream(full, n=20))
+        n_scaled = len(feed_stream(scaled, n=20))
+        assert 0 < n_scaled < n_full
+
+    def test_low_utilisation_untouched(self):
+        # rho below the 0.70 knee must not throttle at all.
+        calm = StreamerPrefetcher(utilisation=lambda: 0.5)
+        plain = StreamerPrefetcher()
+        assert feed_stream(calm, n=20) == feed_stream(plain, n=20)
+
+    def test_descending_stream_stops_at_line_zero(self):
+        # the negative-target break: a downward stream near address 0
+        # never requests a negative line.
+        pf = StreamerPrefetcher()
+        fired = []
+        for line in (8, 7, 6, 5, 4, 3, 2, 1, 0):
+            fired += [r.line for r in pf.observe(0, line * 64, line, False)]
+        assert fired and all(line >= 0 for line in fired)
 
 
 class TestFactories:

@@ -25,6 +25,7 @@ from repro.validate import (
     run_validation,
 )
 from repro.validate.differential import diff_one, size_grid_for
+from repro.validate.fuzz import TARGETS
 from repro.validate.oracle import (
     COLD,
     oracle_miss_ratio_curve,
@@ -147,7 +148,7 @@ class TestInvariantsFast:
 class TestFuzzFast:
     def test_small_batch_passes(self):
         result = run_fuzz(seed=0, cases_per_target=3)
-        assert result.cases_run == 9
+        assert result.cases_run == 3 * len(TARGETS)
         assert result.passed, [f.as_dict() for f in result.failures]
 
     def test_fuzz_is_deterministic(self):
@@ -189,7 +190,7 @@ class TestDifferentialFull:
 class TestFuzzBatch:
     def test_full_batch(self):
         result = run_fuzz(seed=0, cases_per_target=25)
-        assert result.cases_run == 75
+        assert result.cases_run == 25 * len(TARGETS)
         assert result.passed, [f.as_dict() for f in result.failures]
 
 

@@ -1,0 +1,84 @@
+"""Calibration regression for the irregular corpus classes.
+
+The ClassBounds for the graph-analytics pattern classes in
+``repro.validate.corpus`` were calibrated against measured StatStack
+error (seed 0, worst case over the quick *and* full corpora at sampling
+rate 1.0).  This suite pins the calibration in both directions:
+
+* **No regression** — every quick-corpus entry of a new class must stay
+  inside its bound at rate 1.0 and inside ``bound + sampled_slack`` at a
+  sparse rate, via the real differential engine.  A model or generator
+  change that degrades accuracy fails here first.
+* **No slack creep** — each bound must sit within 2x of the recorded
+  calibration measurement (or an absolute floor of 0.02 for metrics
+  whose measured error is tiny).  Nobody can silently widen a bound to
+  paper over a regression without updating the recorded calibration —
+  and the diff will show exactly which measurement moved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate.corpus import CLASS_BOUNDS, build_corpus
+from repro.validate.differential import DiffSettings, diff_one
+
+#: Worst rate-1.0 measurement per class over the quick and full corpora
+#: (seed 0), recorded when the bounds were set.  Update ONLY alongside a
+#: deliberate bound change, with fresh measurements.
+CALIBRATION = {
+    "csr": {"linf": 0.0327, "l1": 0.0047, "pc": 0.0002},
+    "bfs": {"linf": 0.0, "l1": 0.0, "pc": 0.0},
+    "hash": {"linf": 0.0528, "l1": 0.0089, "pc": 0.0017},
+    "indirect": {"linf": 0.3130, "l1": 0.0448, "pc": 0.0006},
+    "graph": {"linf": 0.0034, "l1": 0.0006, "pc": 0.0017},
+}
+
+#: Bounds tighter than this are allowed regardless of the measured
+#: error: below it, run-to-run noise dominates and 2x of a near-zero
+#: measurement would be meaninglessly strict.
+FLOOR = 0.02
+
+NEW_CLASSES = sorted(CALIBRATION)
+
+
+@pytest.fixture(scope="module")
+def quick_corpus():
+    return build_corpus(seed=0, quick=True)
+
+
+@pytest.mark.parametrize("cls", NEW_CLASSES)
+def test_class_within_bounds_full_and_sparse(quick_corpus, cls):
+    """Measured error stays inside the calibrated bound (engine check)."""
+    entries = [e for e in quick_corpus if e.cls == cls]
+    assert entries, f"quick corpus has no {cls!r} entries"
+    settings = DiffSettings(sampler_rates=(1.0, 0.2))
+    for entry in entries:
+        result = diff_one(entry, settings)
+        assert result.passed, f"{entry.name}: {result.failures}"
+
+
+@pytest.mark.parametrize("cls", NEW_CLASSES)
+def test_bound_within_2x_of_calibration(cls):
+    """Bounds may not drift beyond 2x the recorded measurement."""
+    bounds = CLASS_BOUNDS[cls]
+    recorded = CALIBRATION[cls]
+    for metric, bound in (("linf", bounds.linf), ("l1", bounds.l1), ("pc", bounds.pc)):
+        ceiling = max(2.0 * recorded[metric], FLOOR)
+        assert bound <= ceiling, (
+            f"{cls}.{metric} bound {bound} exceeds 2x calibrated "
+            f"measurement {recorded[metric]} (ceiling {ceiling}); "
+            "re-measure and update CALIBRATION deliberately"
+        )
+        # The recorded measurement itself must respect the bound —
+        # otherwise the calibration table and the bounds disagree.
+        assert recorded[metric] <= bound, (
+            f"{cls}.{metric} calibration {recorded[metric]} above bound {bound}"
+        )
+
+
+def test_every_new_class_has_calibration():
+    # Any future pattern class must arrive with a calibration row.
+    irregular = {"csr", "bfs", "hash", "indirect", "graph"}
+    assert irregular <= set(CLASS_BOUNDS)
+    assert set(CALIBRATION) == irregular

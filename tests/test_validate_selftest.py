@@ -16,6 +16,7 @@ from repro.validate.selftest import (
     _mutate_codec,
     _mutate_eviction,
     _mutate_model,
+    _mutate_xcore,
     _selftest_corpus,
 )
 
@@ -23,7 +24,7 @@ from repro.validate.selftest import (
 class TestSelfTest:
     def test_all_mutations_detected(self):
         outcomes = run_selftest(seed=0)
-        assert len(outcomes) == 3
+        assert len(outcomes) == 4
         missed = [o for o in outcomes if not o.detected]
         assert not missed, [f"{o.mutation}: {o.detail}" for o in missed]
         assert {o.engine for o in outcomes} == {"differential", "invariants", "fuzz"}
@@ -38,6 +39,10 @@ class TestSelfTest:
 
     def test_codec_corruption_detected(self):
         outcome = _mutate_codec(seed=0)
+        assert outcome.detected, outcome.detail
+
+    def test_broken_index_resolver_detected(self):
+        outcome = _mutate_xcore(seed=0)
         assert outcome.detected, outcome.detail
 
     def test_mutations_are_reverted(self):

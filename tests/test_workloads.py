@@ -15,6 +15,7 @@ from repro.workloads import (
     generate_mixes,
     get_parallel_workload,
     get_workload,
+    list_parallel_workloads,
     list_workloads,
     workload_seed,
 )
@@ -174,6 +175,19 @@ class TestParallel:
     def test_unknown_parallel(self):
         with pytest.raises(WorkloadError):
             get_parallel_workload("applu")
+
+    def test_unknown_input_set(self):
+        with pytest.raises(WorkloadError):
+            get_parallel_workload("swim").build(2, "huge")
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            get_parallel_workload("cg").build(2, "ref", 0.0)
+        with pytest.raises(WorkloadError):
+            get_parallel_workload("cg").build(2, "ref", -1.0)
+
+    def test_listing_is_sorted_and_complete(self):
+        assert list_parallel_workloads() == ["cg", "dc", "fma3d", "swim"]
 
 
 class TestSeeding:
